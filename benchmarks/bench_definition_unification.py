@@ -1,0 +1,53 @@
+"""Section 1 / 4.5 claim: the two frequent-itemset definitions unify on large data.
+
+The paper argues that once the variance is tracked next to the expected
+support, the Normal approximation turns any expected-support miner into a
+probabilistic miner with negligible error — provided the database is large
+enough for the central limit theorem.  This benchmark measures the maximum
+absolute error of the Normal (and Poisson) approximation against the exact
+frequent probability as the database grows, and checks that it vanishes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.support import SupportDistribution
+
+from conftest import emit
+
+SIZES = (50, 200, 800, 3200)
+
+
+def approximation_errors(n: int, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    probabilities = rng.uniform(0.2, 0.95, size=n)
+    distribution = SupportDistribution(probabilities)
+    min_count = int(0.5 * n)
+    exact = distribution.frequent_probability(min_count)
+    normal_error = abs(distribution.normal_frequent_probability(min_count) - exact)
+    poisson_error = abs(distribution.poisson_frequent_probability(min_count) - exact)
+    return normal_error, poisson_error
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_unification_point(benchmark, n):
+    benchmark.group = f"definition-unification:N={n}"
+    normal_error, poisson_error = benchmark(lambda: approximation_errors(n))
+    assert normal_error <= 1.0 and poisson_error <= 1.0
+
+
+def test_unification_report(benchmark):
+    def sweep():
+        return {n: approximation_errors(n) for n in SIZES}
+
+    errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = "\n".join(
+        f"N={n:5d}  normal_error={errors[n][0]:.5f}  poisson_error={errors[n][1]:.5f}"
+        for n in SIZES
+    )
+    emit("Definition unification: approximation error vs database size", rows)
+    # The Normal approximation error must vanish with N and beat Poisson on
+    # large databases (the paper's argument for NDU* over PDU*).
+    assert errors[SIZES[-1]][0] < 0.01
+    assert errors[SIZES[-1]][0] <= errors[SIZES[0]][0] + 1e-9
+    assert errors[SIZES[-1]][0] <= errors[SIZES[-1]][1] + 1e-9

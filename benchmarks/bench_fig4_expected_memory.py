@@ -1,0 +1,44 @@
+"""Figure 4(e-h): memory cost of the expected-support miners vs ``min_esup``.
+
+Peak Python-heap allocation (tracemalloc) is the uniform memory measure; the
+report regenerates the per-panel memory series of the paper.
+"""
+
+import pytest
+
+from repro.core import mine
+from repro.eval import figure4_time_and_memory, run_experiment
+
+from conftest import emit, save_and_render, SCALE
+
+ALGORITHMS = ("uapriori", "uh-mine", "ufp-growth")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize(
+    "dataset_fixture,min_esup", [("connect_db", 0.6), ("kosarak_db", 0.01)]
+)
+def test_fig4_memory_point(benchmark, request, algorithm, dataset_fixture, min_esup):
+    """Time one memory-instrumented run (memory figures are in the report CSVs)."""
+    database = request.getfixturevalue(dataset_fixture)
+    benchmark.group = f"fig4-memory:{database.name}@{min_esup}"
+    result = benchmark.pedantic(
+        lambda: mine(
+            database, algorithm=algorithm, min_esup=min_esup, track_memory=True
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.statistics.peak_memory_bytes > 0
+
+
+@pytest.mark.parametrize("panel_index", range(4))
+def test_fig4_memory_report(benchmark, panel_index):
+    """Regenerate one full memory panel of Figure 4(e-h)."""
+    spec = figure4_time_and_memory(SCALE, track_memory=True)[panel_index]
+    points = benchmark.pedantic(lambda: run_experiment(spec), rounds=1, iterations=1)
+    emit(
+        spec.title + " (peak memory bytes)",
+        save_and_render(points, f"{spec.experiment_id}_memory", measure="peak_memory_bytes"),
+    )
+    assert all(point.peak_memory_bytes > 0 for point in points)

@@ -1,0 +1,42 @@
+"""Figure 4(a-d): running time of the expected-support miners vs ``min_esup``.
+
+Point benchmarks time each of UApriori, UH-Mine and UFP-growth at a
+representative threshold on each of the four benchmark analogues; the report
+benchmark regenerates the full per-panel sweep (one series per algorithm, one
+row per threshold) exactly as the paper plots it.
+"""
+
+import pytest
+
+from repro.core import mine
+from repro.eval import figure4_time_and_memory, run_experiment
+
+from conftest import emit, save_and_render, SCALE
+
+ALGORITHMS = ("uapriori", "uh-mine", "ufp-growth")
+
+# One representative (dataset fixture, min_esup) pair per panel.
+PANEL_POINTS = [
+    ("connect_db", 0.6),
+    ("accident_db", 0.2),
+    ("kosarak_db", 0.01),
+    ("gazelle_db", 0.025),
+]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("dataset_fixture,min_esup", PANEL_POINTS)
+def test_fig4_point(benchmark, request, algorithm, dataset_fixture, min_esup):
+    database = request.getfixturevalue(dataset_fixture)
+    benchmark.group = f"fig4-time:{database.name}@{min_esup}"
+    result = benchmark(lambda: mine(database, algorithm=algorithm, min_esup=min_esup))
+    assert len(result) >= 0
+
+
+@pytest.mark.parametrize("panel_index", range(4))
+def test_fig4_report(benchmark, panel_index):
+    """Regenerate one full panel of Figure 4 (time series per algorithm)."""
+    spec = figure4_time_and_memory(SCALE)[panel_index]
+    points = benchmark.pedantic(lambda: run_experiment(spec), rounds=1, iterations=1)
+    emit(spec.title, save_and_render(points, spec.experiment_id))
+    assert len(points) == len(spec.values) * len(spec.algorithms)

@@ -1,0 +1,36 @@
+"""Figure 4(i-j): scalability of the expected-support miners on T25I15D.
+
+The paper sweeps the Quest dataset from 20k to 320k transactions; the
+scaled-down series keeps the same 16x span (200 to 3200 transactions by
+default) so the linear-growth shape is reproduced.
+"""
+
+import pytest
+
+from repro.core import mine
+from repro.eval import figure4_scalability, run_experiment
+
+from conftest import emit, save_and_render
+
+ALGORITHMS = ("uapriori", "uh-mine", "ufp-growth")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig4_scalability_point(benchmark, quest_db, algorithm):
+    benchmark.group = "fig4-scalability:t25i15d-800"
+    result = benchmark(lambda: mine(quest_db, algorithm=algorithm, min_esup=0.1))
+    assert len(result) >= 0
+
+
+def test_fig4_scalability_report(benchmark):
+    spec = figure4_scalability()
+    points = benchmark.pedantic(lambda: run_experiment(spec), rounds=1, iterations=1)
+    emit(spec.title, save_and_render(points, spec.experiment_id))
+    # Running time must grow with the number of transactions (linear trend).
+    for algorithm in ALGORITHMS:
+        series = sorted(
+            (point.value, point.elapsed_seconds)
+            for point in points
+            if point.algorithm == algorithm
+        )
+        assert series[-1][1] >= series[0][1]

@@ -1,0 +1,37 @@
+"""Figure 4(k-l): effect of the Zipf skew on the expected-support miners.
+
+Probabilities follow a Zipf law over a dense (Connect-like) item structure;
+increasing skew pushes more occurrences to zero probability, so running time
+and memory shrink — the trend the paper reports.
+"""
+
+import pytest
+
+from repro.core import mine
+from repro.datasets import make_zipf_dense
+from repro.eval import figure4_zipf, run_experiment
+
+from conftest import emit, save_and_render
+
+ALGORITHMS = ("uapriori", "uh-mine", "ufp-growth")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("skew", [0.8, 2.0])
+def test_fig4_zipf_point(benchmark, algorithm, skew):
+    database = make_zipf_dense(skew=skew, n_transactions=600)
+    benchmark.group = f"fig4-zipf:skew={skew}"
+    result = benchmark(lambda: mine(database, algorithm=algorithm, min_esup=0.05))
+    assert len(result) >= 0
+
+
+def test_fig4_zipf_report(benchmark):
+    spec = figure4_zipf()
+    points = benchmark.pedantic(lambda: run_experiment(spec), rounds=1, iterations=1)
+    emit(spec.title, save_and_render(points, spec.experiment_id))
+    # Higher skew => fewer frequent itemsets (monotone non-increasing trend).
+    for algorithm in spec.algorithms:
+        series = sorted(
+            (point.value, point.n_itemsets) for point in points if point.algorithm == algorithm
+        )
+        assert series[0][1] >= series[-1][1]

@@ -1,0 +1,36 @@
+"""Figure 5(e-h): exact probabilistic miners vs ``pft`` (time and memory).
+
+The paper's finding: ``pft`` has little influence on the running time and
+memory of the exact miners (most frequent probabilities are close to 1).
+"""
+
+import pytest
+
+from repro.core import mine
+from repro.eval import figure5_pft, run_experiment
+
+from conftest import emit, save_and_render, SCALE
+
+ALGORITHMS = ("dpnb", "dpb", "dcnb", "dcb")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("pft", [0.9, 0.3])
+def test_fig5_pft_point(benchmark, accident_db, algorithm, pft):
+    benchmark.group = f"fig5-pft:accident@{pft}"
+    result = benchmark(
+        lambda: mine(accident_db, algorithm=algorithm, min_sup=0.3, pft=pft)
+    )
+    assert len(result) >= 0
+
+
+@pytest.mark.parametrize("panel_index", range(2))
+def test_fig5_pft_report(benchmark, panel_index):
+    spec = figure5_pft(SCALE, track_memory=True)[panel_index]
+    points = benchmark.pedantic(lambda: run_experiment(spec), rounds=1, iterations=1)
+    emit(spec.title, save_and_render(points, spec.experiment_id))
+    emit(
+        spec.title + " (peak memory bytes)",
+        save_and_render(points, f"{spec.experiment_id}_memory", measure="peak_memory_bytes"),
+    )
+    assert len(points) == len(spec.values) * len(spec.algorithms)

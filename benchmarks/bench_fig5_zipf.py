@@ -1,0 +1,33 @@
+"""Figure 5(k-l): effect of the Zipf skew on the exact probabilistic miners."""
+
+import pytest
+
+from repro.core import mine
+from repro.datasets import make_zipf_dense
+from repro.eval import figure5_zipf, run_experiment
+
+from conftest import emit, save_and_render
+
+ALGORITHMS = ("dpnb", "dpb", "dcnb", "dcb")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("skew", [0.8, 2.0])
+def test_fig5_zipf_point(benchmark, algorithm, skew):
+    database = make_zipf_dense(skew=skew, n_transactions=400)
+    benchmark.group = f"fig5-zipf:skew={skew}"
+    result = benchmark(
+        lambda: mine(database, algorithm=algorithm, min_sup=0.05, pft=0.9)
+    )
+    assert len(result) >= 0
+
+
+def test_fig5_zipf_report(benchmark):
+    spec = figure5_zipf()
+    points = benchmark.pedantic(lambda: run_experiment(spec), rounds=1, iterations=1)
+    emit(spec.title, save_and_render(points, spec.experiment_id))
+    for algorithm in spec.algorithms:
+        series = sorted(
+            (point.value, point.n_itemsets) for point in points if point.algorithm == algorithm
+        )
+        assert series[0][1] >= series[-1][1]

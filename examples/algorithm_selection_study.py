@@ -1,0 +1,66 @@
+"""Algorithm selection study: who wins where (a miniature Table 10).
+
+The paper's practical takeaway is a decision matrix: on dense data with high
+thresholds the Apriori-based miners win, on sparse data or low thresholds
+the UH-Mine family wins, UFP-growth almost never wins, and the approximate
+probabilistic miners dominate the exact ones.  This example reruns that
+comparison on scaled-down analogues of the paper's benchmarks and prints the
+resulting winner matrix, so users can reproduce the guidance on their own
+hardware before picking an algorithm for their data.
+
+Run with::
+
+    python examples/algorithm_selection_study.py            # quick (default scale)
+    REPRO_SCALE=0.01 python examples/algorithm_selection_study.py   # closer to the paper
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.eval import (
+    figure4_time_and_memory,
+    figure5_min_sup,
+    figure6_min_sup,
+    run_experiment,
+    summary_matrix,
+)
+from repro.eval.reporting import format_summary_matrix, format_sweep_table
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.002"))
+
+
+def main() -> None:
+    print(f"Running the Figure 4/5/6 comparison at scale={SCALE} "
+          f"(fraction of the published dataset sizes)\n")
+
+    all_points = []
+    specs = (
+        figure4_time_and_memory(SCALE)
+        + figure5_min_sup(SCALE)
+        + figure6_min_sup(SCALE)
+    )
+    for spec in specs:
+        points = run_experiment(spec, max_points=2)
+        all_points.extend(points)
+        print(f"== {spec.experiment_id}: {spec.title} ==")
+        print(format_sweep_table(points))
+        print()
+
+    winners = summary_matrix(all_points)
+    print("Fastest algorithm per experiment (miniature Table 10):")
+    print(format_summary_matrix(winners))
+
+    expected_family = {"uapriori", "uh-mine", "ufp-growth"}
+    dense_winners = {winners.get("fig4a"), winners.get("fig4b")}
+    sparse_winners = {winners.get("fig4c"), winners.get("fig4d")}
+    print("\nReading the matrix:")
+    print(f"  dense datasets  (connect/accident): {sorted(w for w in dense_winners if w)}")
+    print(f"  sparse datasets (kosarak/gazelle):  {sorted(w for w in sparse_winners if w)}")
+    if dense_winners | sparse_winners <= expected_family:
+        print("  -> expected-support experiments are won by expected-support miners, "
+              "with UH-Mine strongest on sparse data, as the paper reports.")
+
+
+if __name__ == "__main__":
+    main()

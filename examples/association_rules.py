@@ -1,0 +1,75 @@
+"""Association rules and closed itemsets over an uncertain market-basket database.
+
+Frequent itemsets are usually an intermediate product; this example shows the
+post-processing layer built on top of the miners: expected-confidence
+association rules and closed-itemset compression, both defined over the
+expected support exactly as the deterministic notions are defined over the
+plain support.
+
+Run with::
+
+    python examples/association_rules.py
+"""
+
+from __future__ import annotations
+
+import random
+
+import repro
+from repro.core import closed_itemsets, derive_rules
+from repro.db import DatabaseBuilder
+
+
+def build_grocery_database(n_baskets: int = 800, seed: int = 5) -> repro.UncertainDatabase:
+    """Noisy grocery baskets with a few planted purchase patterns."""
+    rng = random.Random(seed)
+    patterns = [
+        (("bread", "butter"), 0.35),
+        (("pasta", "tomato-sauce", "parmesan"), 0.25),
+        (("coffee", "milk"), 0.30),
+    ]
+    fillers = ("apples", "bananas", "rice", "chocolate", "water", "yogurt")
+    builder = DatabaseBuilder(name="groceries")
+    for _ in range(n_baskets):
+        units = []
+        for items, rate in patterns:
+            if rng.random() < rate:
+                for item in items:
+                    units.append((item, rng.uniform(0.75, 0.98)))
+        for item in fillers:
+            if rng.random() < 0.12:
+                units.append((item, rng.uniform(0.4, 0.95)))
+        if units:
+            builder.add_transaction(units)
+    return builder.build()
+
+
+def main() -> None:
+    database = build_grocery_database()
+    vocabulary = database.vocabulary
+    stats = database.stats()
+    print(f"{stats.n_transactions} baskets, {stats.n_items} products, "
+          f"average {stats.average_length:.1f} items per basket")
+
+    result = repro.mine(database, algorithm="uh-mine", min_esup=0.05)
+    print(f"\nFrequent itemsets at min_esup=0.05: {len(result)}")
+
+    closed = closed_itemsets(result)
+    print(f"Closed frequent itemsets: {len(closed)} "
+          f"({len(result) - len(closed)} absorbed by supersets with equal expected support)")
+
+    rules = derive_rules(result, database, min_confidence=0.7)
+    print(f"\nAssociation rules with expected confidence >= 0.7: {len(rules)}")
+    for rule in rules[:10]:
+        antecedent = " + ".join(vocabulary.labels_of(rule.antecedent.items))
+        consequent = " + ".join(vocabulary.labels_of(rule.consequent.items))
+        print(f"  {antecedent:28s} -> {consequent:22s} "
+              f"conf={rule.expected_confidence:.2f} lift={rule.lift:5.1f}")
+
+    print("\nThe planted patterns (bread+butter, pasta+sauce+parmesan, coffee+milk) "
+          "surface as the highest-confidence, highest-lift rules despite every "
+          "individual purchase being uncertain.")
+
+
+if __name__ == "__main__":
+    main()

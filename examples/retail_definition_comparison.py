@@ -1,0 +1,97 @@
+"""Retail basket analysis: comparing the two frequent-itemset definitions.
+
+The paper's central message is that the *expected-support* definition and
+the *probabilistic* definition are tightly connected: once the variance of
+the support is tracked next to its expectation, the Normal approximation
+turns one into the other with negligible error on large databases.
+
+This example makes that concrete on a market-basket scenario.  Purchase
+records come from a loyalty-card pipeline whose entity resolution is noisy,
+so every item in a basket carries a confidence value.  We mine the same
+database under both definitions, across the whole range of algorithm
+families, and report:
+
+* how the result sets overlap,
+* how close the approximate frequent probabilities are to the exact ones,
+* how much cheaper the approximate algorithms are than the exact ones.
+
+Run with::
+
+    python examples/retail_definition_comparison.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro
+from repro.datasets import GaussianProbabilityModel, QuestGenerator
+from repro.eval import compare_results
+
+
+def build_purchase_database(n_baskets: int = 1500) -> repro.UncertainDatabase:
+    """Simulate noisy retail baskets with correlated products."""
+    generator = QuestGenerator(
+        n_items=300,
+        avg_transaction_length=12,
+        avg_pattern_length=6,
+        n_patterns=80,
+        seed=21,
+    )
+    confidence = GaussianProbabilityModel(mean=0.85, variance=0.08, seed=22)
+    return generator.generate(n_baskets, confidence, name="retail-baskets")
+
+
+def main() -> None:
+    database = build_purchase_database()
+    stats = database.stats()
+    print(f"Baskets: {stats.n_transactions}, products: {stats.n_items}, "
+          f"average basket size: {stats.average_length:.1f}, "
+          f"mean confidence: {stats.average_probability:.2f}")
+
+    min_sup = 0.1
+    pft = 0.9
+
+    # Definition 2: expected-support frequent itemsets at min_esup = min_sup.
+    expected = repro.mine(database, algorithm="uh-mine", min_esup=min_sup)
+
+    # Definition 4 exactly (DCB) and approximately (NDUH-Mine, PDUApriori).
+    runs = {}
+    for algorithm in ("dcb", "nduh-mine", "ndu-apriori", "pdu-apriori"):
+        start = time.perf_counter()
+        runs[algorithm] = repro.mine(
+            database, algorithm=algorithm, min_sup=min_sup, pft=pft
+        )
+        elapsed = time.perf_counter() - start
+        print(f"  {algorithm:12s}: {len(runs[algorithm]):4d} itemsets in {elapsed:6.2f}s")
+
+    exact = runs["dcb"]
+    print(f"\nExpected-support frequent itemsets (min_esup={min_sup}): {len(expected)}")
+    print(f"Probabilistic frequent itemsets (min_sup={min_sup}, pft={pft}):  {len(exact)}")
+    shared = expected.itemset_keys() & exact.itemset_keys()
+    print(f"Overlap between the two definitions: {len(shared)} itemsets "
+          f"({100 * len(shared) / max(len(exact), 1):.0f}% of the probabilistic result)")
+
+    print("\nApproximation quality against the exact probabilistic result:")
+    for algorithm in ("nduh-mine", "ndu-apriori", "pdu-apriori"):
+        report = compare_results(runs[algorithm], exact)
+        error = (
+            f"max |Pr error| = {report.max_probability_error:.4f}"
+            if report.max_probability_error is not None
+            else "(no probabilities reported)"
+        )
+        print(f"  {algorithm:12s}: precision={report.precision:.3f} "
+              f"recall={report.recall:.3f}  {error}")
+
+    speedup = (
+        exact.statistics.elapsed_seconds
+        / max(runs["nduh-mine"].statistics.elapsed_seconds, 1e-9)
+    )
+    print(f"\nNDUH-Mine answered the probabilistic question "
+          f"{speedup:.1f}x faster than the exact DCB miner — the paper's point "
+          f"that expected-support machinery (plus variance) is all you need on "
+          f"large databases.")
+
+
+if __name__ == "__main__":
+    main()

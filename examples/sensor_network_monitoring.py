@@ -1,0 +1,103 @@
+"""Sensor-network monitoring: mining co-occurring events from noisy readings.
+
+The paper motivates uncertain frequent itemset mining with wireless sensor
+networks: readings are inherently noisy, so each detected event only
+*probably* happened.  This example simulates a small building-monitoring
+deployment, turns the noisy readings into an uncertain database, and asks
+which groups of events tend to fire together — under both frequent-itemset
+definitions.
+
+Scenario
+--------
+Ten rooms each host sensors for ``motion``, ``temperature-spike``, ``co2-high``
+and ``door-open``.  Hidden "occupancy episodes" cause correlated events
+(motion + co2 + door), while sensor noise adds spurious low-confidence
+detections.  The detection confidence reported by a sensor becomes the
+existence probability of the event in that epoch's transaction.
+
+Run with::
+
+    python examples/sensor_network_monitoring.py
+"""
+
+from __future__ import annotations
+
+import random
+
+import repro
+from repro.db import DatabaseBuilder
+from repro.eval import compare_results
+
+
+EVENT_TYPES = ("motion", "temp-spike", "co2-high", "door-open")
+N_ROOMS = 4
+N_EPOCHS = 400
+
+
+def simulate_readings(seed: int = 7) -> repro.UncertainDatabase:
+    """Simulate one uncertain transaction per monitoring epoch.
+
+    Each unit is an event labelled ``room<k>:<event>`` whose probability is
+    the (simulated) detection confidence of the sensor.
+    """
+    rng = random.Random(seed)
+    builder = DatabaseBuilder(name="sensor-epochs")
+    for _ in range(N_EPOCHS):
+        units = []
+        for room in range(N_ROOMS):
+            occupied = rng.random() < 0.45
+            if occupied:
+                # Occupancy reliably triggers motion and CO2, often the door.
+                units.append((f"room{room}:motion", rng.uniform(0.85, 0.99)))
+                units.append((f"room{room}:co2-high", rng.uniform(0.7, 0.95)))
+                if rng.random() < 0.8:
+                    units.append((f"room{room}:door-open", rng.uniform(0.6, 0.95)))
+                if rng.random() < 0.25:
+                    units.append((f"room{room}:temp-spike", rng.uniform(0.5, 0.9)))
+            else:
+                # Noise: spurious low-confidence detections.
+                for event in EVENT_TYPES:
+                    if rng.random() < 0.05:
+                        units.append((f"room{room}:{event}", rng.uniform(0.05, 0.4)))
+        if units:
+            builder.add_transaction(units)
+    return builder.build()
+
+
+def main() -> None:
+    database = simulate_readings()
+    stats = database.stats()
+    print(f"Simulated {stats.n_transactions} epochs, {stats.n_items} event types, "
+          f"average {stats.average_length:.1f} detections per epoch "
+          f"(mean confidence {stats.average_probability:.2f})")
+
+    vocabulary = database.vocabulary
+
+    # Expected-support view: which event combinations are frequent on average?
+    expected = repro.mine(database, algorithm="uh-mine", min_esup=0.25)
+    print(f"\nExpected-support frequent event sets (min_esup=0.25): {len(expected)}")
+    for record in expected.itemsets:
+        if len(record.itemset) >= 2:
+            labels = " + ".join(vocabulary.labels_of(record.itemset.items))
+            print(f"  {labels:45s} esup={record.expected_support:7.1f}")
+
+    # Probabilistic view: which combinations are frequent with 95% confidence?
+    probabilistic = repro.mine(database, algorithm="nduh-mine", min_sup=0.25, pft=0.95)
+    print(f"\nProbabilistic frequent event sets (min_sup=0.25, pft=0.95): "
+          f"{len(probabilistic)}")
+    for record in probabilistic.itemsets:
+        if len(record.itemset) >= 2:
+            labels = " + ".join(vocabulary.labels_of(record.itemset.items))
+            print(f"  {labels:45s} Pr={record.frequent_probability:.3f}")
+
+    # How close is the fast Normal approximation to the exact answer here?
+    exact = repro.mine(database, algorithm="dcb", min_sup=0.25, pft=0.95)
+    report = compare_results(probabilistic, exact)
+    print(f"\nNDUH-Mine vs exact DCB: precision={report.precision:.3f} "
+          f"recall={report.recall:.3f} "
+          f"(exact run took {exact.statistics.elapsed_seconds:.2f}s vs "
+          f"{probabilistic.statistics.elapsed_seconds:.2f}s approximate)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — frequent itemset mining over uncertain databases.
+
+A faithful, uniformly implemented reproduction of the experimental study
+
+    Tong, Chen, Cheng, Yu.  "Mining Frequent Itemsets over Uncertain
+    Databases."  PVLDB 5(11), 2012.
+
+The library provides the uncertain-database substrate, the eight
+representative mining algorithms the paper compares (three expected-support
+miners, two exact probabilistic miners with and without Chernoff pruning,
+three approximate probabilistic miners), benchmark dataset generators and
+the evaluation harness that regenerates every figure and table of the
+paper's evaluation section.
+
+Quick start::
+
+    import repro
+
+    db = repro.datasets.make_accident(scale=0.005)
+    result = repro.mine(db, algorithm="uapriori", min_esup=0.3)
+    for record in result:
+        print(record.itemset, record.expected_support)
+"""
+
+from . import algorithms, core, datasets, db, eval
+from .core import (
+    AssociationRule,
+    FrequentItemset,
+    Itemset,
+    MiningResult,
+    MiningStatistics,
+    SupportDistribution,
+    algorithm_names,
+    algorithms_in_family,
+    closed_itemsets,
+    derive_rules,
+    mine,
+)
+from .db import DatabaseBuilder, UncertainDatabase, UncertainTransaction, paper_example_database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssociationRule",
+    "DatabaseBuilder",
+    "FrequentItemset",
+    "Itemset",
+    "MiningResult",
+    "MiningStatistics",
+    "SupportDistribution",
+    "UncertainDatabase",
+    "UncertainTransaction",
+    "__version__",
+    "algorithm_names",
+    "algorithms_in_family",
+    "algorithms",
+    "closed_itemsets",
+    "core",
+    "derive_rules",
+    "datasets",
+    "db",
+    "eval",
+    "mine",
+    "paper_example_database",
+]

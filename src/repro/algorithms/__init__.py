@@ -1,0 +1,128 @@
+"""The eight representative algorithms of the paper (plus reference baselines).
+
+Importing this package registers every algorithm with
+:mod:`repro.core.registry` under the names used throughout the paper's
+experiments:
+
+========================  =============  ======================================
+Registry name             Family         Algorithm
+========================  =============  ======================================
+``uapriori``              expected       UApriori (Chui et al.)
+``ufp-growth``            expected       UFP-growth (Leung et al.)
+``uh-mine``               expected       UH-Mine (Aggarwal et al.)
+``dpnb`` / ``dpb``        exact          Dynamic programming, without / with Chernoff pruning
+``dcnb`` / ``dcb``        exact          Divide-and-conquer (FFT), without / with Chernoff pruning
+``pdu-apriori``           approximate    Poisson approximation on UApriori
+``ndu-apriori``           approximate    Normal approximation on UApriori
+``nduh-mine``             approximate    Normal approximation on UH-Mine (the paper's proposal)
+``world-sampling``        approximate    Possible-world sampling estimator (Calders et al. 2010)
+``exhaustive-expected``   expected       Brute-force reference (tests only)
+``exhaustive-prob``       exact          Brute-force reference (tests only)
+========================  =============  ======================================
+"""
+
+from ..core.registry import register_algorithm
+from .base import ExpectedSupportMiner, MinerBase, ProbabilisticMiner
+from .baseline import (
+    ExhaustiveExpectedSupportMiner,
+    ExhaustiveProbabilisticMiner,
+    possible_world_expected_support,
+)
+from .dc import DCMiner
+from .dp import DPMiner
+from .ndu_apriori import NDUApriori
+from .nduh_mine import NDUHMine
+from .pdu_apriori import PDUApriori
+from .pruning import ChernoffPruner
+from .sampling_miner import WorldSamplingMiner
+from .uapriori import UApriori
+from .ufp_growth import UFPGrowth, UFPNode, UFPTree
+from .uh_mine import UHMine, build_uh_struct
+
+__all__ = [
+    "ChernoffPruner",
+    "DCMiner",
+    "DPMiner",
+    "ExhaustiveExpectedSupportMiner",
+    "ExhaustiveProbabilisticMiner",
+    "ExpectedSupportMiner",
+    "MinerBase",
+    "NDUApriori",
+    "NDUHMine",
+    "PDUApriori",
+    "ProbabilisticMiner",
+    "UApriori",
+    "UFPGrowth",
+    "UFPNode",
+    "UFPTree",
+    "UHMine",
+    "WorldSamplingMiner",
+    "build_uh_struct",
+    "possible_world_expected_support",
+]
+
+
+def _register_all() -> None:
+    register_algorithm(
+        "uapriori", "expected", UApriori, "Breadth-first expected-support miner (Apriori)"
+    )
+    register_algorithm(
+        "ufp-growth", "expected", UFPGrowth, "UFP-tree based expected-support miner"
+    )
+    register_algorithm(
+        "uh-mine", "expected", UHMine, "UH-Struct based expected-support miner"
+    )
+    register_algorithm(
+        "dpnb",
+        "exact",
+        lambda **kw: DPMiner(use_pruning=False, **kw),
+        "Dynamic programming, no Chernoff pruning",
+    )
+    register_algorithm(
+        "dpb",
+        "exact",
+        lambda **kw: DPMiner(use_pruning=True, **kw),
+        "Dynamic programming with Chernoff pruning",
+    )
+    register_algorithm(
+        "dcnb",
+        "exact",
+        lambda **kw: DCMiner(use_pruning=False, **kw),
+        "Divide-and-conquer (FFT), no Chernoff pruning",
+    )
+    register_algorithm(
+        "dcb",
+        "exact",
+        lambda **kw: DCMiner(use_pruning=True, **kw),
+        "Divide-and-conquer (FFT) with Chernoff pruning",
+    )
+    register_algorithm(
+        "pdu-apriori", "approximate", PDUApriori, "Poisson approximation on UApriori"
+    )
+    register_algorithm(
+        "ndu-apriori", "approximate", NDUApriori, "Normal approximation on UApriori"
+    )
+    register_algorithm(
+        "nduh-mine", "approximate", NDUHMine, "Normal approximation on UH-Mine"
+    )
+    register_algorithm(
+        "world-sampling",
+        "approximate",
+        WorldSamplingMiner,
+        "Monte-Carlo possible-world sampling estimator",
+    )
+    register_algorithm(
+        "exhaustive-expected",
+        "expected",
+        ExhaustiveExpectedSupportMiner,
+        "Brute-force expected-support reference",
+    )
+    register_algorithm(
+        "exhaustive-prob",
+        "exact",
+        ExhaustiveProbabilisticMiner,
+        "Brute-force probabilistic reference",
+    )
+
+
+_register_all()

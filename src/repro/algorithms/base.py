@@ -1,0 +1,78 @@
+"""Abstract miner interfaces.
+
+Two families of public signatures exist, matching the paper's two frequent
+itemset definitions:
+
+* :class:`ExpectedSupportMiner` — ``mine(database, min_esup)``
+* :class:`ProbabilisticMiner` — ``mine(database, min_sup, pft)``
+
+(the approximate probabilistic algorithms implement the second interface;
+they differ from the exact ones only in how they evaluate the frequent
+probability).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..core.results import MiningResult, MiningStatistics
+from ..core.thresholds import ExpectedSupportThreshold, ProbabilisticThreshold
+from ..db.database import UncertainDatabase
+
+__all__ = ["MinerBase", "ExpectedSupportMiner", "ProbabilisticMiner"]
+
+
+class MinerBase(ABC):
+    """Shared construction options of every miner.
+
+    Parameters
+    ----------
+    track_memory:
+        When True the run records its peak Python-heap allocation in the
+        result statistics (used by the memory-cost experiments).
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "base"
+
+    def __init__(self, track_memory: bool = False) -> None:
+        self.track_memory = track_memory
+
+    def _new_statistics(self) -> MiningStatistics:
+        return MiningStatistics(algorithm=self.name)
+
+
+class ExpectedSupportMiner(MinerBase):
+    """A miner that finds expected-support-based frequent itemsets (Definition 2)."""
+
+    def mine(self, database: UncertainDatabase, min_esup: float) -> MiningResult:
+        """Return every itemset whose expected support reaches ``min_esup``.
+
+        ``min_esup`` may be a ratio of the database size (``0 < x <= 1``) or
+        an absolute expected support (``x > 1``).
+        """
+        threshold = ExpectedSupportThreshold(min_esup)
+        return self._mine(database, threshold.absolute(len(database)))
+
+    @abstractmethod
+    def _mine(self, database: UncertainDatabase, min_expected_support: float) -> MiningResult:
+        """Algorithm-specific mining with an absolute expected-support threshold."""
+
+
+class ProbabilisticMiner(MinerBase):
+    """A miner that finds probabilistic frequent itemsets (Definition 4)."""
+
+    def mine(
+        self, database: UncertainDatabase, min_sup: float, pft: float = 0.9
+    ) -> MiningResult:
+        """Return every itemset with ``Pr[sup >= N * min_sup] > pft``.
+
+        ``min_sup`` may be a ratio or an absolute count; ``pft`` is the
+        probabilistic frequentness threshold.
+        """
+        threshold = ProbabilisticThreshold(min_sup, pft)
+        return self._mine(database, threshold.min_count(len(database)), pft)
+
+    @abstractmethod
+    def _mine(self, database: UncertainDatabase, min_count: int, pft: float) -> MiningResult:
+        """Algorithm-specific mining with an absolute minimum support count."""

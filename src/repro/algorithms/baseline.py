@@ -1,0 +1,119 @@
+"""Brute-force reference miners used as ground truth in tests.
+
+These implementations trade every optimisation for obviousness:
+
+* :class:`ExhaustiveExpectedSupportMiner` enumerates the power set of the
+  frequent items (bounded by ``max_size``) and computes every expected
+  support directly from the database.
+* :class:`ExhaustiveProbabilisticMiner` does the same but evaluates the
+  exact frequent probability of every candidate from the full support PMF.
+* :func:`possible_world_expected_support` estimates an expected support by
+  Monte-Carlo sampling of possible worlds, tying the analytic machinery
+  back to the possible-world semantics.
+
+They are exponential in the number of frequent items and are only meant for
+the small databases used by the test-suite.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List
+
+from ..core.itemset import Itemset
+from ..core.results import FrequentItemset, MiningResult
+from ..core.support import SupportDistribution
+from ..db.database import UncertainDatabase
+from ..db.sampling import sample_worlds
+from .base import ExpectedSupportMiner, ProbabilisticMiner
+from .common import frequent_items_by_expected_support, instrumented_run, item_statistics
+
+__all__ = [
+    "ExhaustiveExpectedSupportMiner",
+    "ExhaustiveProbabilisticMiner",
+    "possible_world_expected_support",
+]
+
+
+class ExhaustiveExpectedSupportMiner(ExpectedSupportMiner):
+    """Enumerate every itemset over the frequent items and test it directly."""
+
+    name = "exhaustive-expected"
+
+    def __init__(self, max_size: int = 6, track_memory: bool = False) -> None:
+        super().__init__(track_memory=track_memory)
+        self.max_size = max_size
+
+    def _mine(self, database: UncertainDatabase, min_expected_support: float) -> MiningResult:
+        statistics = self._new_statistics()
+        with instrumented_run(statistics, self.track_memory):
+            frequent_items = sorted(
+                frequent_items_by_expected_support(database, min_expected_support)
+            )
+            records: List[FrequentItemset] = []
+            for size in range(1, min(self.max_size, len(frequent_items)) + 1):
+                for candidate in combinations(frequent_items, size):
+                    statistics.candidates_generated += 1
+                    expected = database.expected_support(candidate)
+                    if expected >= min_expected_support:
+                        records.append(
+                            FrequentItemset(
+                                Itemset(candidate),
+                                expected,
+                                database.support_variance(candidate),
+                            )
+                        )
+        return MiningResult(records, statistics)
+
+
+class ExhaustiveProbabilisticMiner(ProbabilisticMiner):
+    """Enumerate every itemset and evaluate its exact frequent probability."""
+
+    name = "exhaustive-probabilistic"
+
+    def __init__(self, max_size: int = 6, track_memory: bool = False) -> None:
+        super().__init__(track_memory=track_memory)
+        self.max_size = max_size
+
+    def _mine(self, database: UncertainDatabase, min_count: int, pft: float) -> MiningResult:
+        statistics = self._new_statistics()
+        with instrumented_run(statistics, self.track_memory):
+            items = sorted(item_statistics(database))
+            records: List[FrequentItemset] = []
+            for size in range(1, min(self.max_size, len(items)) + 1):
+                for candidate in combinations(items, size):
+                    statistics.candidates_generated += 1
+                    distribution = SupportDistribution(
+                        database.itemset_probabilities(candidate)
+                    )
+                    probability = distribution.frequent_probability(min_count)
+                    statistics.exact_evaluations += 1
+                    if probability > pft:
+                        records.append(
+                            FrequentItemset(
+                                Itemset(candidate),
+                                distribution.expected_support,
+                                distribution.variance,
+                                probability,
+                            )
+                        )
+        return MiningResult(records, statistics)
+
+
+def possible_world_expected_support(
+    database: UncertainDatabase,
+    itemset,
+    n_worlds: int = 2000,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo estimate of the expected support of ``itemset``.
+
+    Averages the deterministic support over sampled possible worlds; used by
+    the tests to confirm that the analytic expected support agrees with the
+    possible-world semantics.
+    """
+    itemset = set(Itemset(itemset))
+    total = 0
+    for world in sample_worlds(database, n_worlds, seed):
+        total += sum(1 for items in world if itemset <= set(items))
+    return total / n_worlds

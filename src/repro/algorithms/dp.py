@@ -1,0 +1,50 @@
+"""DP: dynamic-programming exact probabilistic frequent miner (Bernecker et al., 2009).
+
+The frequent probability of a candidate is evaluated with the paper's
+recurrence ``Pr_{>=i,j} = Pr_{>=i-1,j-1} * p_j + Pr_{>=i,j-1} * (1 - p_j)``,
+which costs O(N * min_count) per itemset — quadratic in the database size
+when ``min_count`` scales with N.  Two registry configurations mirror the
+paper's experiments: ``dpb`` (with Chernoff-bound pruning) and ``dpnb``
+(without).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.support import frequent_probability_dynamic_programming
+from .probabilistic_apriori import ProbabilisticAprioriMiner
+
+__all__ = ["DPMiner"]
+
+
+class DPMiner(ProbabilisticAprioriMiner):
+    """Exact probabilistic frequent miner using dynamic programming.
+
+    Parameters
+    ----------
+    use_pruning:
+        Enable the Chernoff-bound filter (the *DPB* configuration of the
+        paper); disable it for *DPNB*.
+    """
+
+    name = "dp"
+    exact = True
+
+    def __init__(
+        self,
+        use_pruning: bool = True,
+        item_prefilter: bool = True,
+        track_memory: bool = False,
+    ) -> None:
+        super().__init__(
+            use_pruning=use_pruning,
+            item_prefilter=item_prefilter,
+            track_memory=track_memory,
+        )
+        self.name = "dpb" if use_pruning else "dpnb"
+
+    def _frequent_probability(
+        self, probabilities: Sequence[float], min_count: int
+    ) -> float:
+        return frequent_probability_dynamic_programming(probabilities, min_count)

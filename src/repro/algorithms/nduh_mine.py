@@ -1,0 +1,83 @@
+"""NDUH-Mine: Normal-distribution approximation on the UH-Mine framework.
+
+This is the algorithm the paper itself proposes: UH-Mine's depth-first,
+head-table based search (which wins on sparse data) is combined with the
+Normal approximation of the frequent probability (which needs only the
+expected support and the variance, both accumulated in the same pass).
+
+The search is driven by a *sound* expected-support threshold derived from
+``(min_sup, pft)``: an itemset whose Normal-approximated frequent
+probability exceeds ``pft`` must have
+``esup >= (N * min_sup - 0.5) + z_pft * sqrt(Var)``, and since the variance
+of a Poisson-Binomial variable never exceeds ``N / 4`` (nor ``esup``), a
+conservative lower bound on the expected support of any qualifying itemset
+can be pushed into UH-Mine's anti-monotone pruning.  Candidates surviving
+the search are then filtered by the Normal test itself.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from scipy.stats import norm
+
+from ..core.results import FrequentItemset, MiningResult
+from ..core.support import normal_tail_probability
+from ..db.database import UncertainDatabase
+from .base import ProbabilisticMiner
+from .uh_mine import UHMine
+
+__all__ = ["NDUHMine"]
+
+
+class NDUHMine(ProbabilisticMiner):
+    """Approximate probabilistic miner: UH-Mine framework + Normal approximation."""
+
+    name = "nduh-mine"
+
+    def __init__(self, track_memory: bool = False) -> None:
+        super().__init__(track_memory=track_memory)
+
+    @staticmethod
+    def _search_threshold(min_count: int, pft: float, n_transactions: int) -> float:
+        """Sound expected-support threshold for the depth-first search.
+
+        ``Phi(z) > pft`` requires ``z > z_pft``, i.e.
+        ``esup > (min_count - 0.5) + z_pft * sigma``.  For ``pft >= 0.5`` the
+        quantile is non-negative, so ``min_count - 0.5`` is already a valid
+        lower bound.  For ``pft < 0.5`` the quantile is negative and the
+        bound is loosened by the largest possible standard deviation,
+        ``sqrt(N) / 2``.
+        """
+        z = float(norm.ppf(pft))
+        if z >= 0.0:
+            return max(0.0, min_count - 0.5)
+        return max(0.0, (min_count - 0.5) + z * math.sqrt(n_transactions) / 2.0)
+
+    def _mine(self, database: UncertainDatabase, min_count: int, pft: float) -> MiningResult:
+        threshold = self._search_threshold(min_count, pft, len(database))
+
+        engine = UHMine(track_variance=True, track_memory=self.track_memory)
+        # `threshold` is an absolute expected support (possibly below 1 for
+        # tiny min_count); use the internal entry point to avoid the
+        # ratio-vs-absolute reinterpretation of the public API.
+        inner = engine._mine(database, max(threshold, 1e-12))
+
+        records: List[FrequentItemset] = []
+        for record in inner:
+            variance = record.variance if record.variance is not None else 0.0
+            probability = normal_tail_probability(
+                record.expected_support, variance, min_count
+            )
+            if probability > pft:
+                records.append(
+                    FrequentItemset(
+                        record.itemset, record.expected_support, variance, probability
+                    )
+                )
+
+        statistics = inner.statistics
+        statistics.algorithm = self.name
+        statistics.notes["search_expected_support_threshold"] = float(threshold)
+        return MiningResult(records, statistics)

@@ -1,0 +1,84 @@
+"""PDUApriori: Poisson-distribution-based approximate miner (Wang et al., 2010).
+
+The support of an itemset (Poisson-Binomial) is approximated by a Poisson
+variable whose rate equals the expected support.  Because the Poisson upper
+tail is monotone in the rate, the probabilistic threshold ``(min_sup, pft)``
+can be translated *once* into an equivalent minimum expected support
+``lambda*``; mining then reduces to a plain UApriori run with
+``min_esup = lambda*``.  The algorithm therefore inherits UApriori's cost
+profile (fast on dense data with high thresholds) but — as the paper notes —
+cannot report per-itemset frequent probabilities, only membership.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.results import FrequentItemset, MiningResult
+from ..core.support import poisson_lambda_for_threshold, poisson_tail_probability
+from ..db.database import UncertainDatabase
+from .base import ProbabilisticMiner
+from .uapriori import UApriori
+
+__all__ = ["PDUApriori"]
+
+
+class PDUApriori(ProbabilisticMiner):
+    """Approximate probabilistic miner built on the UApriori framework.
+
+    Parameters
+    ----------
+    report_probabilities:
+        The original algorithm only returns the itemsets.  When this flag is
+        True the result additionally carries the Poisson *estimate* of each
+        frequent probability (useful for diagnostics; clearly marked as an
+        estimate because the exact value is never computed).
+    """
+
+    name = "pdu-apriori"
+
+    def __init__(
+        self,
+        report_probabilities: bool = False,
+        use_decremental_pruning: bool = True,
+        track_memory: bool = False,
+    ) -> None:
+        super().__init__(track_memory=track_memory)
+        self.report_probabilities = report_probabilities
+        self.use_decremental_pruning = use_decremental_pruning
+
+    def _mine(self, database: UncertainDatabase, min_count: int, pft: float) -> MiningResult:
+        # Translate (min_count, pft) into the equivalent expected-support
+        # threshold under the Poisson approximation.
+        lambda_threshold = poisson_lambda_for_threshold(min_count, pft)
+
+        engine = UApriori(
+            use_decremental_pruning=self.use_decremental_pruning,
+            track_variance=False,
+            track_memory=self.track_memory,
+        )
+        # The translated threshold is an *absolute* expected support; call the
+        # internal entry point so values below 1 are not re-interpreted as a
+        # ratio of the database size.
+        inner = engine._mine(database, max(lambda_threshold, 1e-12))
+
+        records: List[FrequentItemset] = []
+        for record in inner:
+            probability = (
+                poisson_tail_probability(record.expected_support, min_count)
+                if self.report_probabilities
+                else None
+            )
+            records.append(
+                FrequentItemset(
+                    record.itemset,
+                    record.expected_support,
+                    record.variance,
+                    probability,
+                )
+            )
+
+        statistics = inner.statistics
+        statistics.algorithm = self.name
+        statistics.notes["poisson_lambda_threshold"] = float(lambda_threshold)
+        return MiningResult(records, statistics)

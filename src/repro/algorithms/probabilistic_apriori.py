@@ -1,0 +1,176 @@
+"""Shared Apriori framework for the probabilistic frequent miners.
+
+The exact miners (DP, DC) and the Apriori-based approximate miners
+(NDUApriori) differ only in how they turn a candidate's per-transaction
+probability vector into a frequent-probability value.  This module houses
+the level-wise search they all share:
+
+1. one scan collects the expected support (and variance) of every item;
+2. the frequent-probability evaluator decides which items are frequent;
+3. level ``k + 1`` candidates come from the Apriori join of the frequent
+   ``k``-itemsets, pruned by downward closure (which remains valid under
+   Definition 4 because the support of a superset is dominated by the
+   support of any subset in every possible world);
+4. an optional Chernoff-bound test discards candidates before the expensive
+   exact evaluation (the *B* vs *NB* variants of the paper).
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.itemset import Itemset
+from ..core.results import FrequentItemset, MiningResult
+from ..db.database import UncertainDatabase
+from .base import ProbabilisticMiner
+from .common import (
+    apriori_join,
+    has_infrequent_subset,
+    instrumented_run,
+    item_statistics,
+    itemset_probability_vector,
+    trim_transactions,
+)
+from .pruning import ChernoffPruner
+
+__all__ = ["ProbabilisticAprioriMiner"]
+
+
+class ProbabilisticAprioriMiner(ProbabilisticMiner):
+    """Level-wise probabilistic frequent itemset miner (abstract).
+
+    Subclasses provide :meth:`_frequent_probability`, the evaluator applied
+    to every surviving candidate.
+
+    Parameters
+    ----------
+    use_pruning:
+        Apply the Chernoff-bound filter before the exact evaluation.  The
+        paper's DPB/DCB configurations set this to True, DPNB/DCNB to False.
+    item_prefilter:
+        Discard items whose expected support is below ``min_count * pft``
+        before mining starts.  This cheap, always-sound filter (the frequent
+        probability of such an item is necessarily below ``pft`` by Markov's
+        inequality) keeps the scaled-down benchmark runs honest without
+        changing results; it can be disabled for strict faithfulness.
+    """
+
+    #: whether the evaluator returns exact probabilities (drives statistics only)
+    exact: bool = True
+
+    def __init__(
+        self,
+        use_pruning: bool = True,
+        item_prefilter: bool = True,
+        track_memory: bool = False,
+    ) -> None:
+        super().__init__(track_memory=track_memory)
+        self.use_pruning = use_pruning
+        self.item_prefilter = item_prefilter
+
+    # -- evaluator ----------------------------------------------------------------------
+    @abstractmethod
+    def _frequent_probability(
+        self, probabilities: Sequence[float], min_count: int
+    ) -> float:
+        """Return ``Pr[sup(X) >= min_count]`` from the non-zero probability vector."""
+
+    # -- statistics helpers ---------------------------------------------------------------
+    @staticmethod
+    def _moments(probabilities: Sequence[float]) -> Tuple[float, float]:
+        expected = 0.0
+        variance = 0.0
+        for probability in probabilities:
+            expected += probability
+            variance += probability * (1.0 - probability)
+        return expected, variance
+
+    # -- main loop ------------------------------------------------------------------------
+    def _mine(self, database: UncertainDatabase, min_count: int, pft: float) -> MiningResult:
+        statistics = self._new_statistics()
+        pruner = ChernoffPruner(enabled=self.use_pruning)
+        with instrumented_run(statistics, self.track_memory):
+            records: List[FrequentItemset] = []
+
+            stats_by_item = item_statistics(database)
+            statistics.database_scans += 1
+
+            if self.item_prefilter:
+                # Markov: Pr[sup >= min_count] <= esup / min_count, so items with
+                # esup < min_count * pft can never qualify.
+                candidate_items = {
+                    item: stats
+                    for item, stats in stats_by_item.items()
+                    if stats[0] >= min_count * pft
+                }
+            else:
+                candidate_items = dict(stats_by_item)
+
+            transactions = trim_transactions(database, candidate_items)
+
+            current_level: List[Tuple[int, ...]] = []
+            for item in sorted(candidate_items):
+                expected, variance = candidate_items[item]
+                record = self._evaluate_candidate(
+                    transactions, (item,), expected, variance, min_count, pft, pruner, statistics
+                )
+                if record is not None:
+                    records.append(record)
+                    current_level.append((item,))
+
+            while current_level:
+                frequent_keys = set(current_level)
+                candidates = [
+                    candidate
+                    for candidate in apriori_join(sorted(current_level))
+                    if not has_infrequent_subset(candidate, frequent_keys)
+                ]
+                statistics.candidates_generated += len(candidates)
+                if not candidates:
+                    break
+                statistics.database_scans += 1
+                next_level: List[Tuple[int, ...]] = []
+                for candidate in candidates:
+                    record = self._evaluate_candidate(
+                        transactions, candidate, None, None, min_count, pft, pruner, statistics
+                    )
+                    if record is not None:
+                        records.append(record)
+                        next_level.append(candidate)
+                current_level = next_level
+
+            statistics.candidates_pruned += pruner.pruned
+            statistics.notes["chernoff_tested"] = float(pruner.tested)
+            statistics.notes["chernoff_pruned"] = float(pruner.pruned)
+
+        return MiningResult(records, statistics)
+
+    def _evaluate_candidate(
+        self,
+        transactions: List[Dict[int, float]],
+        candidate: Tuple[int, ...],
+        expected: Optional[float],
+        variance: Optional[float],
+        min_count: int,
+        pft: float,
+        pruner: ChernoffPruner,
+        statistics,
+    ) -> Optional[FrequentItemset]:
+        """Evaluate one candidate; return its record when probabilistic frequent."""
+        probabilities = itemset_probability_vector(transactions, candidate)
+        if expected is None or variance is None:
+            expected, variance = self._moments(probabilities)
+
+        # A candidate can never occur min_count times if it occurs (with any
+        # probability) in fewer than min_count transactions.
+        if len(probabilities) < min_count:
+            return None
+        if pruner.can_prune(expected, min_count, pft):
+            return None
+
+        statistics.exact_evaluations += 1
+        probability = self._frequent_probability(probabilities, min_count)
+        if probability > pft:
+            return FrequentItemset(Itemset(candidate), expected, variance, probability)
+        return None

@@ -1,0 +1,54 @@
+"""Candidate pruning for probabilistic frequent itemset mining.
+
+The only pruning technique the paper evaluates is the Chernoff-bound test
+(Lemma 1): the bound is an upper bound on the frequent probability that can
+be computed from the expected support alone in O(N), so candidates whose
+bound already falls below ``pft`` can be discarded without ever paying the
+O(N log N) / O(N^2 · min_sup) exact computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.support import chernoff_upper_bound
+
+__all__ = ["ChernoffPruner"]
+
+
+@dataclass
+class ChernoffPruner:
+    """Stateful Chernoff-bound filter with prune accounting.
+
+    Parameters
+    ----------
+    enabled:
+        When False the pruner never rejects anything (the *NB* — "no bound"
+        — variants of the exact miners).
+    """
+
+    enabled: bool = True
+    tested: int = 0
+    pruned: int = 0
+    _last_bound: float = field(default=1.0, repr=False)
+
+    def can_prune(self, expected_support: float, min_count: int, pft: float) -> bool:
+        """Return True when the candidate is certainly not probabilistic frequent.
+
+        The test is one-sided: ``True`` is definitive (the Chernoff bound on
+        ``Pr[sup >= min_count]`` is below ``pft``), ``False`` only means the
+        exact computation is still required.
+        """
+        if not self.enabled:
+            return False
+        self.tested += 1
+        self._last_bound = chernoff_upper_bound(expected_support, min_count)
+        if self._last_bound <= pft:
+            self.pruned += 1
+            return True
+        return False
+
+    @property
+    def last_bound(self) -> float:
+        """The bound computed by the most recent :meth:`can_prune` call."""
+        return self._last_bound

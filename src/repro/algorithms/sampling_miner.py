@@ -1,0 +1,192 @@
+"""Sampling-based approximate probabilistic frequent itemset mining.
+
+The paper's related-work list includes a third way to approximate the
+frequent probability besides the Poisson and Normal distributions: sample
+possible worlds and count (Calders, Garboni, Goethals, PAKDD 2010,
+reference [11] of the paper).  Each sampled world is a deterministic
+database; the frequent probability of an itemset is estimated as the
+fraction of worlds in which its (deterministic) support reaches the
+threshold.
+
+The estimator is unbiased and its error is controlled by the number of
+worlds (a Hoeffding bound gives ``epsilon = sqrt(ln(2/delta) / (2 * n_worlds))``),
+but every itemset costs O(n_worlds * N), so the method is mainly interesting
+as an independent cross-check of the analytic miners — which is exactly how
+the test-suite uses it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.itemset import Itemset
+from ..core.results import FrequentItemset, MiningResult
+from ..db.database import UncertainDatabase
+from .base import ProbabilisticMiner
+from .common import (
+    apriori_join,
+    has_infrequent_subset,
+    instrumented_run,
+    item_statistics,
+    trim_transactions,
+)
+
+__all__ = ["WorldSamplingMiner"]
+
+
+class WorldSamplingMiner(ProbabilisticMiner):
+    """Monte-Carlo possible-world miner (Calders et al., PAKDD 2010).
+
+    Parameters
+    ----------
+    n_worlds:
+        Number of possible worlds to sample.  The half-width of the
+        (1 - delta) confidence interval on every estimated frequent
+        probability is ``sqrt(ln(2/delta) / (2 * n_worlds))``.
+    seed:
+        Seed of the world sampler (results are deterministic given the seed).
+    slack:
+        Safety margin subtracted from ``pft`` during candidate expansion so
+        that borderline itemsets are not lost to sampling noise; the final
+        filter still uses the unmodified ``pft``.
+    """
+
+    name = "world-sampling"
+
+    def __init__(
+        self,
+        n_worlds: int = 200,
+        seed: int = 0,
+        slack: float = 0.05,
+        track_memory: bool = False,
+    ) -> None:
+        super().__init__(track_memory=track_memory)
+        if n_worlds <= 0:
+            raise ValueError("n_worlds must be positive")
+        if not 0.0 <= slack < 1.0:
+            raise ValueError("slack must lie in [0, 1)")
+        self.n_worlds = n_worlds
+        self.seed = seed
+        self.slack = slack
+
+    def error_bound(self, delta: float = 0.05) -> float:
+        """Hoeffding half-width of the probability estimates at confidence 1 - delta."""
+        if not 0.0 < delta < 1.0:
+            raise ValueError("delta must lie strictly between 0 and 1")
+        return math.sqrt(math.log(2.0 / delta) / (2.0 * self.n_worlds))
+
+    # -- world materialisation ---------------------------------------------------------
+    def _sample_worlds(
+        self, transactions: List[Dict[int, float]]
+    ) -> List[List[Dict[int, float]]]:
+        """Materialise ``n_worlds`` deterministic projections of the database.
+
+        Each world is stored in the same ``{item: probability}`` shape as the
+        trimmed transactions (with probability 1.0 for the retained items) so
+        the support-counting loop below can stay identical to the analytic
+        miners' scanning loop.
+        """
+        rng = np.random.default_rng(self.seed)
+        worlds: List[List[Dict[int, float]]] = [[] for _ in range(self.n_worlds)]
+        for units in transactions:
+            if not units:
+                for world in worlds:
+                    world.append({})
+                continue
+            items = list(units.keys())
+            probabilities = np.array([units[item] for item in items])
+            draws = rng.random((self.n_worlds, len(items))) < probabilities
+            for world_index in range(self.n_worlds):
+                present = {
+                    items[item_index]: 1.0
+                    for item_index in np.nonzero(draws[world_index])[0]
+                }
+                worlds[world_index].append(present)
+        return worlds
+
+    def _estimated_frequent_probability(
+        self,
+        worlds: List[List[Dict[int, float]]],
+        candidate: Tuple[int, ...],
+        min_count: int,
+    ) -> float:
+        hits = 0
+        for world in worlds:
+            support = 0
+            for units in world:
+                contained = True
+                for item in candidate:
+                    if item not in units:
+                        contained = False
+                        break
+                if contained:
+                    support += 1
+                    if support >= min_count:
+                        hits += 1
+                        break
+        return hits / self.n_worlds
+
+    # -- mining -------------------------------------------------------------------------
+    def _mine(self, database: UncertainDatabase, min_count: int, pft: float) -> MiningResult:
+        statistics = self._new_statistics()
+        with instrumented_run(statistics, self.track_memory):
+            records: List[FrequentItemset] = []
+            stats_by_item = item_statistics(database)
+            statistics.database_scans += 1
+
+            # Markov prefilter, identical to the analytic Apriori miners.
+            candidate_items = {
+                item: stats
+                for item, stats in stats_by_item.items()
+                if stats[0] >= min_count * max(pft - self.slack, 0.0)
+            }
+            transactions = trim_transactions(database, candidate_items)
+            worlds = self._sample_worlds(transactions)
+            statistics.notes["worlds_sampled"] = float(self.n_worlds)
+
+            expansion_threshold = max(pft - self.slack, 0.0)
+            current_level: List[Tuple[int, ...]] = []
+            for item in sorted(candidate_items):
+                probability = self._estimated_frequent_probability(worlds, (item,), min_count)
+                statistics.exact_evaluations += 1
+                if probability > expansion_threshold:
+                    current_level.append((item,))
+                if probability > pft:
+                    expected, variance = candidate_items[item]
+                    records.append(
+                        FrequentItemset(Itemset((item,)), expected, variance, probability)
+                    )
+
+            while current_level:
+                frequent_keys = set(current_level)
+                candidates = [
+                    candidate
+                    for candidate in apriori_join(sorted(current_level))
+                    if not has_infrequent_subset(candidate, frequent_keys)
+                ]
+                statistics.candidates_generated += len(candidates)
+                if not candidates:
+                    break
+                next_level: List[Tuple[int, ...]] = []
+                for candidate in candidates:
+                    probability = self._estimated_frequent_probability(
+                        worlds, candidate, min_count
+                    )
+                    statistics.exact_evaluations += 1
+                    if probability > expansion_threshold:
+                        next_level.append(candidate)
+                    if probability > pft:
+                        records.append(
+                            FrequentItemset(
+                                Itemset(candidate),
+                                database.expected_support(candidate),
+                                database.support_variance(candidate),
+                                probability,
+                            )
+                        )
+                current_level = next_level
+
+        return MiningResult(records, statistics)

@@ -1,0 +1,150 @@
+"""UApriori: the uncertain extension of Apriori (Chui, Kao & Hung 2007/2008).
+
+A breadth-first, generate-and-test miner.  Level ``k + 1`` candidates are
+produced by joining the frequent ``k``-itemsets, pruned by downward closure
+and, optionally, by the *decremental* upper-bound check of Chui et al.;
+each surviving candidate's expected support is accumulated in a single scan
+of the (trimmed) database.
+
+The paper finds UApriori to be the fastest expected-support miner on dense
+datasets with a high ``min_esup`` — the regime where the level-wise search
+space stays small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.itemset import Itemset
+from ..core.results import FrequentItemset, MiningResult
+from ..db.database import UncertainDatabase
+from .base import ExpectedSupportMiner
+from .common import (
+    apriori_join,
+    frequent_items_by_expected_support,
+    has_infrequent_subset,
+    instrumented_run,
+    trim_transactions,
+)
+
+__all__ = ["UApriori"]
+
+
+class UApriori(ExpectedSupportMiner):
+    """Breadth-first expected-support miner.
+
+    Parameters
+    ----------
+    use_decremental_pruning:
+        Enable the decremental upper-bound pruning of Chui et al.: while a
+        candidate's expected support is being accumulated transaction by
+        transaction, the best support it could still reach is the running
+        total plus the number of unseen transactions; once that upper bound
+        drops below the threshold the candidate is abandoned early.
+    track_variance:
+        Also accumulate the support variance of every frequent itemset
+        (needed when UApriori serves as the engine of the Normal
+        approximation miners).
+    track_memory:
+        Record peak heap allocation in the result statistics.
+    """
+
+    name = "uapriori"
+
+    def __init__(
+        self,
+        use_decremental_pruning: bool = True,
+        track_variance: bool = False,
+        track_memory: bool = False,
+    ) -> None:
+        super().__init__(track_memory=track_memory)
+        self.use_decremental_pruning = use_decremental_pruning
+        self.track_variance = track_variance
+
+    # -- internals ---------------------------------------------------------------------
+    def _candidate_statistics(
+        self,
+        transactions: List[Dict[int, float]],
+        candidate: Tuple[int, ...],
+        min_expected_support: float,
+    ) -> Tuple[float, float, bool]:
+        """Return (expected support, variance, surviving) for one candidate.
+
+        ``surviving`` is False when decremental pruning abandoned the
+        candidate early (its returned statistics are then partial and must
+        not be used).
+        """
+        remaining = len(transactions)
+        expected = 0.0
+        variance = 0.0
+        for units in transactions:
+            remaining -= 1
+            probability = 1.0
+            for item in candidate:
+                unit = units.get(item)
+                if unit is None:
+                    probability = 0.0
+                    break
+                probability *= unit
+            if probability > 0.0:
+                expected += probability
+                if self.track_variance:
+                    variance += probability * (1.0 - probability)
+            if self.use_decremental_pruning and expected + remaining < min_expected_support:
+                return expected, variance, False
+        return expected, variance, expected >= min_expected_support
+
+    def _mine(self, database: UncertainDatabase, min_expected_support: float) -> MiningResult:
+        statistics = self._new_statistics()
+        with instrumented_run(statistics, self.track_memory):
+            records: List[FrequentItemset] = []
+
+            frequent_items = frequent_items_by_expected_support(
+                database, min_expected_support
+            )
+            statistics.database_scans += 1
+            for item, (expected, variance) in frequent_items.items():
+                records.append(
+                    FrequentItemset(
+                        Itemset((item,)),
+                        expected,
+                        variance if self.track_variance else None,
+                    )
+                )
+
+            transactions = trim_transactions(database, frequent_items)
+            current_level: Dict[Tuple[int, ...], float] = {
+                (item,): stats[0] for item, stats in frequent_items.items()
+            }
+
+            while current_level:
+                frequent_keys = set(current_level)
+                candidates = [
+                    candidate
+                    for candidate in apriori_join(sorted(current_level))
+                    if not has_infrequent_subset(candidate, frequent_keys)
+                ]
+                statistics.candidates_generated += len(candidates)
+                if not candidates:
+                    break
+
+                statistics.database_scans += 1
+                next_level: Dict[Tuple[int, ...], float] = {}
+                for candidate in candidates:
+                    expected, variance, frequent = self._candidate_statistics(
+                        transactions, candidate, min_expected_support
+                    )
+                    if frequent:
+                        next_level[candidate] = expected
+                        records.append(
+                            FrequentItemset(
+                                Itemset(candidate),
+                                expected,
+                                variance if self.track_variance else None,
+                            )
+                        )
+                    else:
+                        statistics.candidates_pruned += 1
+                current_level = next_level
+
+        return MiningResult(records, statistics)

@@ -1,0 +1,146 @@
+"""Command line interface: ``repro-mine``.
+
+Three subcommands cover the common workflows:
+
+``repro-mine list``
+    Show the registered algorithms and datasets.
+
+``repro-mine mine``
+    Mine a benchmark dataset (or an ``item:probability`` text file) with one
+    algorithm and print the frequent itemsets.
+
+``repro-mine experiment``
+    Run one of the paper's figure/table scenarios and print the resulting
+    table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.miner import mine
+from .core.registry import algorithm_names, get_algorithm
+from .datasets.registry import dataset_names, load_dataset
+from .db.io import read_uncertain
+from .eval import reporting, runner, scenarios
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mine",
+        description="Frequent itemset mining over uncertain databases (VLDB 2012 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list registered algorithms and datasets")
+
+    mine_parser = subparsers.add_parser("mine", help="mine one dataset with one algorithm")
+    mine_parser.add_argument("--algorithm", "-a", default="uapriori", help="algorithm name")
+    mine_parser.add_argument(
+        "--dataset", "-d", default="accident", help="benchmark dataset name or path to an item:probability file"
+    )
+    mine_parser.add_argument("--scale", type=float, default=0.002, help="benchmark scale factor")
+    mine_parser.add_argument("--min-esup", type=float, default=None, help="minimum expected support")
+    mine_parser.add_argument("--min-sup", type=float, default=None, help="minimum support")
+    mine_parser.add_argument("--pft", type=float, default=0.9, help="probabilistic frequent threshold")
+    mine_parser.add_argument("--limit", type=int, default=20, help="print at most this many itemsets")
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="run one of the paper's experiment scenarios"
+    )
+    experiment_parser.add_argument(
+        "figure",
+        choices=["fig4", "fig5", "fig6", "table8", "table9"],
+        help="which experiment family to run",
+    )
+    experiment_parser.add_argument("--scale", type=float, default=0.002, help="dataset scale factor")
+    experiment_parser.add_argument(
+        "--max-points", type=int, default=None, help="truncate each sweep to this many points"
+    )
+    return parser
+
+
+def _command_list() -> int:
+    print("Algorithms:")
+    for name in algorithm_names():
+        info = get_algorithm(name)
+        print(f"  {name:22s} [{info.family}]  {info.description}")
+    print("\nDatasets:")
+    for name in dataset_names():
+        print(f"  {name}")
+    return 0
+
+
+def _command_mine(args: argparse.Namespace) -> int:
+    if args.dataset in dataset_names():
+        database = load_dataset(args.dataset, scale=args.scale)
+    else:
+        database = read_uncertain(args.dataset, name=args.dataset)
+
+    info = get_algorithm(args.algorithm)
+    if info.family == "expected":
+        threshold = args.min_esup if args.min_esup is not None else 0.5
+        result = mine(database, algorithm=args.algorithm, min_esup=threshold)
+    else:
+        threshold = args.min_sup if args.min_sup is not None else 0.5
+        result = mine(database, algorithm=args.algorithm, min_sup=threshold, pft=args.pft)
+
+    statistics = result.statistics
+    print(
+        f"{args.algorithm}: {len(result)} frequent itemsets in "
+        f"{statistics.elapsed_seconds:.3f}s over {len(database)} transactions"
+    )
+    for record in result.itemsets[: args.limit]:
+        probability = (
+            f"  Pr={record.frequent_probability:.3f}"
+            if record.frequent_probability is not None
+            else ""
+        )
+        print(f"  {record.itemset.items}  esup={record.expected_support:.2f}{probability}")
+    if len(result) > args.limit:
+        print(f"  ... ({len(result) - args.limit} more)")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    if args.figure == "fig4":
+        specs = scenarios.figure4_time_and_memory(args.scale)
+    elif args.figure == "fig5":
+        specs = scenarios.figure5_min_sup(args.scale)
+    elif args.figure == "fig6":
+        specs = scenarios.figure6_min_sup(args.scale)
+    elif args.figure == "table8":
+        specs = [scenarios.table8_accuracy_dense(args.scale)]
+    else:
+        specs = [scenarios.table9_accuracy_sparse(args.scale)]
+
+    for spec in specs:
+        print(f"== {spec.experiment_id}: {spec.title} ==")
+        if spec.experiment_id.startswith("table"):
+            points = runner.run_accuracy_experiment(spec, max_points=args.max_points)
+            print(reporting.format_accuracy_table(points))
+        else:
+            points = runner.run_experiment(spec, max_points=args.max_points)
+            print(reporting.format_sweep_table(points))
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-mine`` console script."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "mine":
+        return _command_mine(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Core model: itemsets, support distributions, thresholds, results, dispatch."""
+
+from .itemset import Itemset
+from .miner import mine
+from .registry import (
+    AlgorithmInfo,
+    algorithm_names,
+    algorithms_in_family,
+    get_algorithm,
+    register_algorithm,
+)
+from .results import FrequentItemset, MiningResult, MiningStatistics
+from .rules import AssociationRule, closed_itemsets, derive_rules
+from .support import (
+    SupportDistribution,
+    chernoff_upper_bound,
+    exact_pmf_divide_conquer,
+    exact_pmf_dynamic_programming,
+    frequent_probability_dynamic_programming,
+    normal_tail_probability,
+    poisson_lambda_for_threshold,
+    poisson_tail_probability,
+)
+from .thresholds import ExpectedSupportThreshold, ProbabilisticThreshold
+
+__all__ = [
+    "AlgorithmInfo",
+    "AssociationRule",
+    "ExpectedSupportThreshold",
+    "FrequentItemset",
+    "Itemset",
+    "MiningResult",
+    "MiningStatistics",
+    "ProbabilisticThreshold",
+    "SupportDistribution",
+    "algorithm_names",
+    "algorithms_in_family",
+    "chernoff_upper_bound",
+    "closed_itemsets",
+    "derive_rules",
+    "exact_pmf_divide_conquer",
+    "exact_pmf_dynamic_programming",
+    "frequent_probability_dynamic_programming",
+    "get_algorithm",
+    "mine",
+    "normal_tail_probability",
+    "poisson_lambda_for_threshold",
+    "poisson_tail_probability",
+    "register_algorithm",
+]

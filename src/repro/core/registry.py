@@ -1,0 +1,73 @@
+"""Registry of mining algorithms.
+
+Algorithms register themselves under a short name (``"uapriori"``,
+``"dcb"``, ...) so the unified front-end (:mod:`repro.core.miner`), the
+evaluation harness and the CLI can instantiate them uniformly.  Each entry
+records the algorithm family, which determines the thresholds it expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+__all__ = ["AlgorithmInfo", "register_algorithm", "algorithm_names", "get_algorithm", "algorithms_in_family"]
+
+FAMILIES = ("expected", "exact", "approximate")
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Metadata describing one registered algorithm."""
+
+    name: str
+    family: str
+    factory: Callable[..., object]
+    description: str = ""
+
+
+_REGISTRY: Dict[str, AlgorithmInfo] = {}
+
+
+def register_algorithm(
+    name: str, family: str, factory: Callable[..., object], description: str = ""
+) -> None:
+    """Register an algorithm factory under ``name``.
+
+    ``family`` must be one of ``expected`` (expected-support-based miners),
+    ``exact`` (exact probabilistic miners) or ``approximate`` (approximate
+    probabilistic miners).
+    """
+    if family not in FAMILIES:
+        raise ValueError(f"family must be one of {FAMILIES}, got {family!r}")
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"algorithm {name!r} is already registered")
+    _REGISTRY[key] = AlgorithmInfo(key, family, factory, description)
+
+
+def algorithm_names() -> List[str]:
+    """Return the sorted names of all registered algorithms."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def algorithms_in_family(family: str) -> List[str]:
+    """Return the names of the algorithms belonging to ``family``."""
+    _ensure_loaded()
+    return sorted(info.name for info in _REGISTRY.values() if info.family == family)
+
+
+def get_algorithm(name: str) -> AlgorithmInfo:
+    """Return the registry entry for ``name`` (case-insensitive)."""
+    _ensure_loaded()
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown algorithm {name!r}; known: {algorithm_names()}")
+    return _REGISTRY[key]
+
+
+def _ensure_loaded() -> None:
+    """Import the algorithms package so its registrations run."""
+    if not _REGISTRY:
+        from .. import algorithms  # noqa: F401  (import for side effect)

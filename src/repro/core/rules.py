@@ -1,0 +1,135 @@
+"""Post-processing of mining results: association rules and closed itemsets.
+
+Frequent itemsets are rarely the end product — downstream users derive
+association rules from them, or compress them to the closed itemsets.  Both
+notions generalise naturally to uncertain data via the expected support
+(and, for rules, the ratio of expected supports), following the extensions
+the paper points to in its related work (e.g. threshold-based frequent
+closed itemsets over probabilistic data, reference [30]).
+
+* An **association rule** ``X -> Y`` (X, Y disjoint, X ∪ Y frequent) has
+  *expected confidence* ``esup(X ∪ Y) / esup(X)`` and *lift*
+  ``N * esup(X ∪ Y) / (esup(X) * esup(Y))``.
+* A frequent itemset is **closed** (under expected support) when no frequent
+  proper superset has the same expected support up to a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Optional
+
+from ..db.database import UncertainDatabase
+from .itemset import Itemset
+from .results import FrequentItemset, MiningResult
+
+__all__ = ["AssociationRule", "derive_rules", "closed_itemsets"]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """An association rule ``antecedent -> consequent`` over uncertain data."""
+
+    antecedent: Itemset
+    consequent: Itemset
+    expected_support: float
+    expected_confidence: float
+    lift: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{set(self.antecedent.items)} -> {set(self.consequent.items)} "
+            f"(esup={self.expected_support:.2f}, conf={self.expected_confidence:.2f}, "
+            f"lift={self.lift:.2f})"
+        )
+
+
+def derive_rules(
+    result: MiningResult,
+    database: UncertainDatabase,
+    min_confidence: float = 0.6,
+    max_consequent_size: Optional[int] = None,
+) -> List[AssociationRule]:
+    """Derive association rules from the frequent itemsets in ``result``.
+
+    Every frequent itemset of size >= 2 is split into a non-empty antecedent
+    and consequent; rules whose expected confidence reaches
+    ``min_confidence`` are returned, sorted by descending confidence then
+    lift.  The expected supports of the antecedent/consequent are looked up
+    in ``result`` when present (they always are when the miner honours
+    downward closure) and recomputed from ``database`` otherwise.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValueError("min_confidence must lie in (0, 1]")
+    n_transactions = len(database)
+    if n_transactions == 0:
+        return []
+
+    def expected_support_of(itemset: Itemset) -> float:
+        record = result.get(itemset)
+        if record is not None:
+            return record.expected_support
+        return database.expected_support(itemset)
+
+    rules: List[AssociationRule] = []
+    for record in result:
+        items = record.itemset.items
+        if len(items) < 2:
+            continue
+        joint_support = record.expected_support
+        for antecedent_size in range(1, len(items)):
+            for antecedent_items in combinations(items, antecedent_size):
+                antecedent = Itemset(antecedent_items)
+                consequent = record.itemset.difference(antecedent)
+                if max_consequent_size is not None and len(consequent) > max_consequent_size:
+                    continue
+                antecedent_support = expected_support_of(antecedent)
+                if antecedent_support <= 0.0:
+                    continue
+                confidence = joint_support / antecedent_support
+                if confidence < min_confidence:
+                    continue
+                consequent_support = expected_support_of(consequent)
+                lift = (
+                    (joint_support * n_transactions)
+                    / (antecedent_support * consequent_support)
+                    if consequent_support > 0.0
+                    else float("inf")
+                )
+                rules.append(
+                    AssociationRule(
+                        antecedent=antecedent,
+                        consequent=consequent,
+                        expected_support=joint_support,
+                        expected_confidence=min(confidence, 1.0),
+                        lift=lift,
+                    )
+                )
+    rules.sort(key=lambda rule: (-rule.expected_confidence, -rule.lift, rule.antecedent.items))
+    return rules
+
+
+def closed_itemsets(result: MiningResult, tolerance: float = 1e-9) -> MiningResult:
+    """Return the closed frequent itemsets of ``result``.
+
+    An itemset is closed when no frequent proper superset has the same
+    expected support (up to ``tolerance``).  Closedness is evaluated against
+    the itemsets present in ``result``, which is sufficient because every
+    superset with equal expected support is itself frequent.
+    """
+    records = result.itemsets
+    closed: List[FrequentItemset] = []
+    for record in records:
+        is_closed = True
+        for other in records:
+            if len(other.itemset) <= len(record.itemset):
+                continue
+            if not record.itemset.issubset(other.itemset):
+                continue
+            if abs(other.expected_support - record.expected_support) <= tolerance:
+                is_closed = False
+                break
+        if is_closed:
+            closed.append(record)
+    return MiningResult(closed, result.statistics)

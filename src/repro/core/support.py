@@ -1,0 +1,312 @@
+"""The support distribution of an itemset over an uncertain database.
+
+Under the independence assumption, the support of an itemset ``X`` is the
+sum of ``N`` independent Bernoulli variables — one per transaction, with
+success probability ``p_i(X)`` — i.e. a **Poisson-Binomial** random
+variable.  Every algorithm in the paper reduces to a different way of
+querying this distribution:
+
+* expected-support miners use only its expectation,
+* exact probabilistic miners evaluate its upper tail exactly
+  (dynamic programming or divide-and-conquer convolution),
+* approximate miners replace the tail with a Poisson or Normal
+  approximation parameterised by the expectation (and variance),
+* the Chernoff bound gives a cheap upper bound on the tail used for
+  pruning.
+
+:class:`SupportDistribution` packages all of these views behind one object;
+the module-level functions expose the raw numerics for reuse and testing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SupportDistribution",
+    "exact_pmf_dynamic_programming",
+    "exact_pmf_divide_conquer",
+    "frequent_probability_dynamic_programming",
+    "poisson_tail_probability",
+    "normal_tail_probability",
+    "chernoff_upper_bound",
+    "poisson_lambda_for_threshold",
+]
+
+# The Normal CDF is evaluated via math.erf to avoid importing scipy in the
+# hot path; scipy is still used by the higher-level statistics helpers.
+_SQRT2 = math.sqrt(2.0)
+
+
+def _standard_normal_cdf(z: float) -> float:
+    return 0.5 * (1.0 + math.erf(z / _SQRT2))
+
+
+def exact_pmf_dynamic_programming(probabilities: Sequence[float]) -> np.ndarray:
+    """Exact Poisson-Binomial PMF by the classic O(N^2) dynamic programme.
+
+    ``result[k]`` is the probability that exactly ``k`` of the ``N``
+    transactions contain the itemset.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    n = len(probabilities)
+    pmf = np.zeros(n + 1, dtype=float)
+    pmf[0] = 1.0
+    for index, probability in enumerate(probabilities):
+        # Shift the distribution by one with probability `probability`.
+        upper = index + 1
+        pmf[1 : upper + 1] = (
+            pmf[1 : upper + 1] * (1.0 - probability) + pmf[:upper] * probability
+        )
+        pmf[0] *= 1.0 - probability
+    return pmf
+
+
+def _convolve(left: np.ndarray, right: np.ndarray, use_fft: bool) -> np.ndarray:
+    if use_fft and (len(left) > 64 or len(right) > 64):
+        size = len(left) + len(right) - 1
+        fft_size = 1 << (size - 1).bit_length()
+        spectrum = np.fft.rfft(left, fft_size) * np.fft.rfft(right, fft_size)
+        result = np.fft.irfft(spectrum, fft_size)[:size]
+        # FFT round-off can produce tiny negative values; clip them away.
+        np.clip(result, 0.0, None, out=result)
+        return result
+    return np.convolve(left, right)
+
+
+def exact_pmf_divide_conquer(
+    probabilities: Sequence[float], use_fft: bool = True
+) -> np.ndarray:
+    """Exact Poisson-Binomial PMF by divide-and-conquer convolution.
+
+    The database is split recursively; the PMFs of the halves are combined
+    by polynomial multiplication.  With FFT-based convolution the total cost
+    is O(N log^2 N), the strategy behind the paper's DC algorithm.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+
+    def _recurse(chunk: np.ndarray) -> np.ndarray:
+        if len(chunk) == 0:
+            return np.array([1.0])
+        if len(chunk) == 1:
+            p = float(chunk[0])
+            return np.array([1.0 - p, p])
+        middle = len(chunk) // 2
+        return _convolve(_recurse(chunk[:middle]), _recurse(chunk[middle:]), use_fft)
+
+    pmf = _recurse(probabilities)
+    # Normalise away accumulated floating point drift.
+    total = pmf.sum()
+    if total > 0:
+        pmf = pmf / total
+    return pmf
+
+
+def frequent_probability_dynamic_programming(
+    probabilities: Sequence[float], min_count: int
+) -> float:
+    """``Pr[sup(X) >= min_count]`` via the paper's DP recurrence.
+
+    This follows the recurrence of Bernecker et al. used by the DP miner:
+    ``Pr_{>=i,j} = Pr_{>=i-1,j-1} * p_j + Pr_{>=i,j-1} * (1 - p_j)`` with the
+    boundary cases ``Pr_{>=0,j} = 1`` and ``Pr_{>=i,j} = 0`` for ``i > j``.
+    The cost is O(N * min_count), cheaper than the full PMF when
+    ``min_count`` is small.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    n = len(probabilities)
+    min_count = int(min_count)
+    if min_count <= 0:
+        return 1.0
+    if min_count > n:
+        return 0.0
+    # previous[i] = Pr[at least i occurrences among the first j transactions]
+    previous = np.zeros(min_count + 1, dtype=float)
+    previous[0] = 1.0
+    for j in range(1, n + 1):
+        p = probabilities[j - 1]
+        current = np.empty_like(previous)
+        current[0] = 1.0
+        upper = min(j, min_count)
+        current[1 : upper + 1] = (
+            previous[: upper] * p + previous[1 : upper + 1] * (1.0 - p)
+        )
+        if upper < min_count:
+            current[upper + 1 :] = 0.0
+        previous = current
+    return float(previous[min_count])
+
+
+def poisson_tail_probability(expected_support: float, min_count: int) -> float:
+    """Poisson approximation of ``Pr[sup(X) >= min_count]``.
+
+    The Poisson-Binomial variable is approximated by a Poisson variable with
+    rate ``lambda = esup(X)`` (Le Cam's theorem); the tail is one minus the
+    Poisson CDF at ``min_count - 1``.
+    """
+    if min_count <= 0:
+        return 1.0
+    lam = max(float(expected_support), 0.0)
+    if lam == 0.0:
+        return 0.0
+    # Survival function computed with a numerically stable running term.
+    term = math.exp(-lam)
+    cdf = term
+    for k in range(1, int(min_count)):
+        term *= lam / k
+        cdf += term
+    return float(max(0.0, min(1.0, 1.0 - cdf)))
+
+
+def normal_tail_probability(
+    expected_support: float, variance: float, min_count: int
+) -> float:
+    """Normal approximation of ``Pr[sup(X) >= min_count]`` with continuity correction.
+
+    Follows the paper's formula ``Pr(X) ~ Phi((esup - (min_count - 0.5)) / sqrt(Var))``
+    (equivalently one minus the CDF evaluated at the corrected threshold).
+    """
+    if min_count <= 0:
+        return 1.0
+    if variance <= 0.0:
+        # Degenerate distribution: all mass at the expectation.
+        return 1.0 if expected_support >= min_count - 0.5 else 0.0
+    z = (expected_support - (min_count - 0.5)) / math.sqrt(variance)
+    return float(_standard_normal_cdf(z))
+
+
+def chernoff_upper_bound(expected_support: float, min_count: int) -> float:
+    """Chernoff upper bound on ``Pr[sup(X) >= min_count]`` (Lemma 1).
+
+    Returns 1.0 when the bound is uninformative (``min_count`` does not
+    exceed the expectation), so callers can use the value directly as a
+    conservative estimate of the frequent probability.
+    """
+    mu = float(expected_support)
+    if mu <= 0.0:
+        return 0.0 if min_count > 0 else 1.0
+    delta = (min_count - mu - 1.0) / mu
+    if delta <= 0.0:
+        return 1.0
+    if delta > 2.0 * math.e - 1.0:
+        return float(2.0 ** (-delta * mu))
+    return float(math.exp(-(delta * delta) * mu / 4.0))
+
+
+def poisson_lambda_for_threshold(min_count: int, pft: float) -> float:
+    """Smallest Poisson rate whose tail at ``min_count`` exceeds ``pft``.
+
+    PDUApriori converts the probabilistic threshold ``(min_count, pft)`` into
+    an equivalent *expected support* threshold: because the Poisson tail is
+    monotonically increasing in ``lambda``, a binary search finds the rate at
+    which ``Pr[Poisson(lambda) >= min_count] = pft``; itemsets whose expected
+    support reaches that rate are (approximately) probabilistic frequent.
+    """
+    if not 0.0 < pft < 1.0:
+        raise ValueError("pft must lie strictly between 0 and 1")
+    if min_count <= 0:
+        return 0.0
+    low, high = 0.0, float(max(min_count, 1))
+    while poisson_tail_probability(high, min_count) <= pft:
+        high *= 2.0
+        if high > 1e9:  # pragma: no cover - defensive guard
+            break
+    for _ in range(80):
+        middle = 0.5 * (low + high)
+        if poisson_tail_probability(middle, min_count) > pft:
+            high = middle
+        else:
+            low = middle
+    return high
+
+
+class SupportDistribution:
+    """All views of the support distribution of one itemset.
+
+    Parameters
+    ----------
+    probabilities:
+        Vector of per-transaction occurrence probabilities ``p_i(X)``.
+    """
+
+    def __init__(self, probabilities: Sequence[float]) -> None:
+        self._probabilities = np.asarray(probabilities, dtype=float)
+        if np.any((self._probabilities < 0.0) | (self._probabilities > 1.0)):
+            raise ValueError("per-transaction probabilities must lie in [0, 1]")
+        self._pmf: Optional[np.ndarray] = None
+
+    # -- moments ---------------------------------------------------------------------
+    @property
+    def n_transactions(self) -> int:
+        return len(self._probabilities)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        return self._probabilities
+
+    @property
+    def expected_support(self) -> float:
+        """First moment: ``esup(X)``."""
+        return float(self._probabilities.sum())
+
+    @property
+    def variance(self) -> float:
+        """Second central moment of the support."""
+        return float((self._probabilities * (1.0 - self._probabilities)).sum())
+
+    # -- exact distribution ------------------------------------------------------------
+    def pmf(self, method: str = "divide_conquer") -> np.ndarray:
+        """Exact probability mass function of the support.
+
+        ``method`` is ``"divide_conquer"`` (FFT-accelerated, default) or
+        ``"dynamic_programming"``.  The result is cached.
+        """
+        if self._pmf is None:
+            if method == "dynamic_programming":
+                self._pmf = exact_pmf_dynamic_programming(self._probabilities)
+            elif method == "divide_conquer":
+                self._pmf = exact_pmf_divide_conquer(self._probabilities)
+            else:
+                raise ValueError(f"unknown method {method!r}")
+        return self._pmf
+
+    def pmf_as_dict(self) -> Dict[int, float]:
+        """The PMF as ``{support: probability}`` with negligible entries removed."""
+        return {
+            support: float(probability)
+            for support, probability in enumerate(self.pmf())
+            if probability > 1e-12
+        }
+
+    def frequent_probability(self, min_count: int, method: str = "divide_conquer") -> float:
+        """Exact ``Pr[sup(X) >= min_count]``.
+
+        ``method`` selects the evaluation strategy: ``"divide_conquer"``
+        (full PMF, then tail sum), ``"dynamic_programming"`` (the paper's DP
+        recurrence, does not materialise the full PMF).
+        """
+        min_count = int(min_count)
+        if min_count <= 0:
+            return 1.0
+        if min_count > self.n_transactions:
+            return 0.0
+        if method == "dynamic_programming":
+            return frequent_probability_dynamic_programming(self._probabilities, min_count)
+        tail = float(self.pmf(method)[min_count:].sum())
+        return float(max(0.0, min(1.0, tail)))
+
+    # -- approximations -----------------------------------------------------------------
+    def poisson_frequent_probability(self, min_count: int) -> float:
+        """Poisson approximation of the frequent probability."""
+        return poisson_tail_probability(self.expected_support, min_count)
+
+    def normal_frequent_probability(self, min_count: int) -> float:
+        """Normal approximation (with continuity correction) of the frequent probability."""
+        return normal_tail_probability(self.expected_support, self.variance, min_count)
+
+    def chernoff_bound(self, min_count: int) -> float:
+        """Chernoff upper bound on the frequent probability."""
+        return chernoff_upper_bound(self.expected_support, min_count)

@@ -1,0 +1,45 @@
+"""Dataset generation: probability models and benchmark analogues."""
+
+from .benchmark import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    make_accident,
+    make_benchmark,
+    make_connect,
+    make_gazelle,
+    make_kosarak,
+    make_t25i15d,
+    make_zipf_dense,
+)
+from .probability import (
+    ConstantProbabilityModel,
+    GaussianProbabilityModel,
+    ProbabilityModel,
+    UniformProbabilityModel,
+    ZipfProbabilityModel,
+)
+from .registry import dataset_names, load_dataset, register_dataset
+from .synthetic import DenseSparseGenerator, QuestGenerator, attach_probabilities
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "ConstantProbabilityModel",
+    "DenseSparseGenerator",
+    "GaussianProbabilityModel",
+    "ProbabilityModel",
+    "QuestGenerator",
+    "UniformProbabilityModel",
+    "ZipfProbabilityModel",
+    "attach_probabilities",
+    "dataset_names",
+    "load_dataset",
+    "make_accident",
+    "make_benchmark",
+    "make_connect",
+    "make_gazelle",
+    "make_kosarak",
+    "make_t25i15d",
+    "make_zipf_dense",
+    "register_dataset",
+]

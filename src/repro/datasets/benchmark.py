@@ -1,0 +1,198 @@
+"""Synthetic analogues of the paper's benchmark datasets.
+
+The paper evaluates on five deterministic FIMI datasets with probabilities
+layered on top (Tables 6 and 7):
+
+=============  ============  =========  =========  ========  =================
+Dataset        #Transactions  #Items     Avg. len.  Density   Probability model
+=============  ============  =========  =========  ========  =================
+Connect        67,557         129        43         0.33      Gaussian(0.95, 0.05)
+Accident       340,183        468        33.8       0.072     Gaussian(0.5, 0.5)
+Kosarak        990,002        41,270     8.1        0.00019   Gaussian(0.5, 0.5)
+Gazelle        59,601         498        2.5        0.005     Gaussian(0.95, 0.05)
+T25I15D320k    320,000        994        25         0.025     Gaussian(0.9, 0.1)
+=============  ============  =========  =========  ========  =================
+
+The original files are not redistributable and full-scale runs are
+impractical for a pure-Python re-run, so each benchmark is replaced by a
+*seeded generator* reproducing its shape statistics.  A ``scale`` factor
+shrinks the transaction count (and, for the sparse datasets, the item
+vocabulary proportionally) while preserving density and average length —
+the properties the paper's conclusions actually depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..db.database import UncertainDatabase
+from .probability import GaussianProbabilityModel, ProbabilityModel, ZipfProbabilityModel
+from .synthetic import DenseSparseGenerator, QuestGenerator, attach_probabilities
+
+__all__ = [
+    "BenchmarkSpec",
+    "BENCHMARKS",
+    "make_benchmark",
+    "make_connect",
+    "make_accident",
+    "make_kosarak",
+    "make_gazelle",
+    "make_t25i15d",
+    "make_zipf_dense",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Published shape of one paper benchmark plus its default probability model."""
+
+    name: str
+    n_transactions: int
+    n_items: int
+    avg_transaction_length: float
+    density: float
+    probability_mean: float
+    probability_variance: float
+    dense: bool
+    scale_items: bool  # shrink the vocabulary together with the transaction count?
+
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    "connect": BenchmarkSpec("connect", 67_557, 129, 43.0, 0.33, 0.95, 0.05, True, False),
+    "accident": BenchmarkSpec("accident", 340_183, 468, 33.8, 0.072, 0.5, 0.5, True, False),
+    "kosarak": BenchmarkSpec("kosarak", 990_002, 41_270, 8.1, 0.00019, 0.5, 0.5, False, True),
+    "gazelle": BenchmarkSpec("gazelle", 59_601, 498, 2.5, 0.005, 0.95, 0.05, False, False),
+    "t25i15d320k": BenchmarkSpec("t25i15d320k", 320_000, 994, 25.0, 0.025, 0.9, 0.1, True, False),
+}
+
+
+def _scaled_counts(spec: BenchmarkSpec, scale: float) -> (int, int):
+    """Return (n_transactions, n_items) after applying the scale factor."""
+    if scale <= 0 or scale > 1:
+        raise ValueError("scale must lie in (0, 1]")
+    n_transactions = max(50, int(spec.n_transactions * scale))
+    if spec.scale_items:
+        # Keep at least a thousand items so the dataset stays recognisably
+        # sparse even at small scales (Kosarak's defining property).
+        n_items = max(1000, int(spec.n_items * scale))
+    else:
+        n_items = spec.n_items
+    n_items = max(n_items, int(spec.avg_transaction_length) + 1)
+    return n_transactions, n_items
+
+
+def make_benchmark(
+    name: str,
+    scale: float = 0.01,
+    probability_model: Optional[ProbabilityModel] = None,
+    n_transactions: Optional[int] = None,
+    seed: int = 11,
+) -> UncertainDatabase:
+    """Build a scaled analogue of the named paper benchmark.
+
+    Parameters
+    ----------
+    name:
+        One of ``connect``, ``accident``, ``kosarak``, ``gazelle``,
+        ``t25i15d320k`` (case-insensitive).
+    scale:
+        Fraction of the original transaction count to generate.  The default
+        of 1% keeps pure-Python benchmark runs tractable; pass ``1.0`` to
+        regenerate the full published size.
+    probability_model:
+        Override the default Gaussian model of Table 7 (e.g. with a
+        :class:`~repro.datasets.probability.ZipfProbabilityModel`).
+    n_transactions:
+        Explicit transaction count overriding ``scale``.
+    seed:
+        Seed controlling both the item structure and, unless a model is
+        supplied, the probability assignment.
+    """
+    key = name.lower()
+    if key not in BENCHMARKS:
+        raise KeyError(f"unknown benchmark {name!r}; expected one of {sorted(BENCHMARKS)}")
+    spec = BENCHMARKS[key]
+    scaled_transactions, scaled_items = _scaled_counts(spec, scale)
+    if n_transactions is not None:
+        scaled_transactions = n_transactions
+
+    if probability_model is None:
+        probability_model = GaussianProbabilityModel(
+            mean=spec.probability_mean, variance=spec.probability_variance, seed=seed + 1
+        )
+
+    label = f"{spec.name}-{scaled_transactions}"
+    if key == "t25i15d320k":
+        generator = QuestGenerator(
+            n_items=scaled_items,
+            avg_transaction_length=spec.avg_transaction_length,
+            avg_pattern_length=15.0,
+            seed=seed,
+        )
+        return generator.generate(scaled_transactions, probability_model, name=label)
+
+    # Dense datasets keep a flatter popularity with a head of items present in
+    # most transactions (items co-occur massively); sparse datasets use a
+    # steeper decay so most items are individually rare.
+    if spec.dense:
+        decay, max_inclusion = 0.6, 0.95
+    else:
+        decay, max_inclusion = 1.1, 0.9
+    generator = DenseSparseGenerator(
+        n_items=scaled_items,
+        avg_transaction_length=spec.avg_transaction_length,
+        popularity_decay=decay,
+        max_inclusion=max_inclusion,
+        seed=seed,
+    )
+    return generator.generate(scaled_transactions, probability_model, name=label)
+
+
+def make_connect(scale: float = 0.01, seed: int = 11, **kwargs) -> UncertainDatabase:
+    """Dense, high-mean/low-variance analogue of Connect."""
+    return make_benchmark("connect", scale=scale, seed=seed, **kwargs)
+
+
+def make_accident(scale: float = 0.01, seed: int = 11, **kwargs) -> UncertainDatabase:
+    """Dense, low-mean/high-variance analogue of Accident."""
+    return make_benchmark("accident", scale=scale, seed=seed, **kwargs)
+
+
+def make_kosarak(scale: float = 0.01, seed: int = 11, **kwargs) -> UncertainDatabase:
+    """Sparse, low-mean/high-variance analogue of Kosarak."""
+    return make_benchmark("kosarak", scale=scale, seed=seed, **kwargs)
+
+
+def make_gazelle(scale: float = 0.01, seed: int = 11, **kwargs) -> UncertainDatabase:
+    """Sparse, high-mean/low-variance analogue of Gazelle."""
+    return make_benchmark("gazelle", scale=scale, seed=seed, **kwargs)
+
+
+def make_t25i15d(
+    n_transactions: int = 3200, seed: int = 11, **kwargs
+) -> UncertainDatabase:
+    """Quest-style scalability dataset (the paper's T25I15D320k, scaled)."""
+    return make_benchmark(
+        "t25i15d320k", n_transactions=n_transactions, seed=seed, **kwargs
+    )
+
+
+def make_zipf_dense(
+    skew: float = 1.2,
+    n_transactions: int = 1000,
+    scale: Optional[float] = None,
+    seed: int = 11,
+) -> UncertainDatabase:
+    """Dense dataset whose probabilities follow a Zipf law of the given skew.
+
+    Reproduces the Fig. 4(k-l)/5(k-l)/6(k-l) scenario: a dense item
+    structure (Connect-like) with probabilities drawn from a Zipf
+    distribution whose skew is swept from 0.8 to 2.0.
+    """
+    model = ZipfProbabilityModel(skew=skew, seed=seed + 1)
+    if scale is not None:
+        return make_benchmark("connect", scale=scale, probability_model=model, seed=seed)
+    return make_benchmark(
+        "connect", n_transactions=n_transactions, probability_model=model, seed=seed
+    )

@@ -1,0 +1,142 @@
+"""Probability models used to turn deterministic benchmarks into uncertain ones.
+
+The paper takes classic deterministic FIMI datasets and assigns each item
+occurrence an existence probability drawn from a Gaussian distribution
+(truncated to ``[0, 1]``) or, for the uncertainty-sensitivity study, a Zipf
+distribution over a small grid of probability levels.  These models
+reproduce that methodology.  All models are deterministic given a seed so
+experiments are repeatable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "ProbabilityModel",
+    "GaussianProbabilityModel",
+    "ZipfProbabilityModel",
+    "ConstantProbabilityModel",
+    "UniformProbabilityModel",
+]
+
+
+class ProbabilityModel(ABC):
+    """Assigns an existence probability to every ``(tid, item)`` occurrence."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @abstractmethod
+    def sample(self) -> float:
+        """Draw one probability value."""
+
+    def __call__(self, tid: int, item: int) -> float:
+        """Probability of ``item`` existing in transaction ``tid``.
+
+        The default implementation ignores the coordinates and simply draws
+        from the model's distribution, which matches the paper's methodology
+        (probabilities are i.i.d. across occurrences).
+        """
+        return self.sample()
+
+
+class ConstantProbabilityModel(ProbabilityModel):
+    """Every occurrence gets the same probability (handy for tests)."""
+
+    def __init__(self, probability: float = 1.0) -> None:
+        super().__init__(seed=0)
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must lie in [0, 1]")
+        self.probability = probability
+
+    def sample(self) -> float:
+        return self.probability
+
+
+class UniformProbabilityModel(ProbabilityModel):
+    """Probabilities drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float = 0.0, high: float = 1.0, seed: int = 0) -> None:
+        super().__init__(seed)
+        if not 0.0 <= low <= high <= 1.0:
+            raise ValueError("require 0 <= low <= high <= 1")
+        self.low = low
+        self.high = high
+
+    def sample(self) -> float:
+        return float(self._rng.uniform(self.low, self.high))
+
+
+class GaussianProbabilityModel(ProbabilityModel):
+    """Truncated Gaussian probabilities, the paper's default model.
+
+    The paper parameterises its scenarios by ``(mean, variance)`` — e.g. the
+    dense Connect dataset uses mean 0.95 / variance 0.05 and Accident uses
+    mean 0.5 / variance 0.5 (Table 7).  Draws are clipped into ``(0, 1]``;
+    values that clip to zero are raised to ``minimum`` so every unit retains
+    a (possibly tiny) chance of existing, mirroring the reference
+    implementations which never emit zero-probability units.
+    """
+
+    def __init__(
+        self,
+        mean: float = 0.5,
+        variance: float = 0.1,
+        seed: int = 0,
+        minimum: float = 1e-3,
+    ) -> None:
+        super().__init__(seed)
+        if variance < 0:
+            raise ValueError("variance must be non-negative")
+        self.mean = mean
+        self.variance = variance
+        self.minimum = minimum
+        self._std = float(np.sqrt(variance))
+
+    def sample(self) -> float:
+        value = float(self._rng.normal(self.mean, self._std))
+        return float(min(1.0, max(self.minimum, value)))
+
+
+class ZipfProbabilityModel(ProbabilityModel):
+    """Zipf-distributed probabilities over a grid of levels.
+
+    The paper studies the effect of skew by drawing probabilities from a Zipf
+    law: a rank ``k`` is drawn with probability proportional to ``k**-skew``
+    and mapped onto an *ascending* grid of probability levels whose first
+    (most likely) level is zero.  Increasing the skew therefore pushes more
+    and more occurrences to zero probability — the behaviour the paper
+    reports: with higher skew, items effectively disappear, fewer itemsets
+    are frequent and both running time and memory drop.
+    """
+
+    def __init__(
+        self,
+        skew: float = 1.2,
+        levels: Optional[np.ndarray] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed)
+        if skew <= 0:
+            raise ValueError("skew must be positive")
+        self.skew = skew
+        if levels is None:
+            # Ascending grid: rank 1 -> zero probability, deep ranks -> high.
+            levels = np.array([0.0, 0.01, 0.05, 0.1, 0.3, 0.5, 0.7, 0.9])
+        self.levels = np.asarray(levels, dtype=float)
+        ranks = np.arange(1, len(self.levels) + 1, dtype=float)
+        weights = ranks ** (-self.skew)
+        self._rank_probabilities = weights / weights.sum()
+
+    def sample(self) -> float:
+        rank = int(self._rng.choice(len(self.levels), p=self._rank_probabilities))
+        return float(self.levels[rank])

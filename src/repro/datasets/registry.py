@@ -1,0 +1,53 @@
+"""A small registry mapping dataset names to factory callables.
+
+The evaluation harness and the command line interface refer to datasets by
+name; registering factories here keeps those layers free of construction
+details and lets users plug in their own datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..db.database import UncertainDatabase
+from . import benchmark
+
+__all__ = ["register_dataset", "dataset_names", "load_dataset"]
+
+DatasetFactory = Callable[..., UncertainDatabase]
+
+_REGISTRY: Dict[str, DatasetFactory] = {}
+
+
+def register_dataset(name: str, factory: DatasetFactory, overwrite: bool = False) -> None:
+    """Register ``factory`` under ``name`` (case-insensitive)."""
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"dataset {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def dataset_names() -> List[str]:
+    """Return the sorted list of registered dataset names."""
+    return sorted(_REGISTRY)
+
+
+def load_dataset(name: str, **kwargs) -> UncertainDatabase:
+    """Instantiate the dataset registered under ``name``.
+
+    Keyword arguments are forwarded to the factory (e.g. ``scale=0.05`` or
+    ``n_transactions=2000``).
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown dataset {name!r}; known: {dataset_names()}")
+    return _REGISTRY[key](**kwargs)
+
+
+# Default registrations: the five paper benchmarks plus the Zipf variant.
+register_dataset("connect", benchmark.make_connect)
+register_dataset("accident", benchmark.make_accident)
+register_dataset("kosarak", benchmark.make_kosarak)
+register_dataset("gazelle", benchmark.make_gazelle)
+register_dataset("t25i15d", benchmark.make_t25i15d)
+register_dataset("zipf-dense", benchmark.make_zipf_dense)

@@ -1,0 +1,149 @@
+"""Reading and writing uncertain databases as text files.
+
+Two interchange formats are supported:
+
+``uncertain`` format (native)
+    One transaction per line; each unit written as ``item:probability``
+    separated by whitespace, e.g. ``3:0.8 17:0.25 42:1.0``.  This mirrors the
+    way the paper's Table 1 presents an uncertain database.
+
+``fimi`` format (deterministic)
+    The classic FIMI repository layout — one transaction per line, items as
+    whitespace-separated integers, no probabilities.  The paper builds its
+    benchmarks by taking FIMI datasets and *assigning* probabilities to each
+    item occurrence; :func:`read_fimi` therefore accepts a probability model
+    from :mod:`repro.datasets.probability` to perform the same assignment.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, TextIO, Union
+
+from .database import UncertainDatabase
+from .transaction import UncertainTransaction
+
+__all__ = [
+    "read_uncertain",
+    "write_uncertain",
+    "read_fimi",
+    "write_fimi",
+    "parse_uncertain_line",
+    "format_uncertain_line",
+]
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+
+def _open_for_read(source: PathOrFile):
+    if hasattr(source, "read"):
+        return source, False
+    return open(source, "r", encoding="utf-8"), True
+
+
+def _open_for_write(target: PathOrFile):
+    if hasattr(target, "write"):
+        return target, False
+    return open(target, "w", encoding="utf-8"), True
+
+
+def parse_uncertain_line(line: str) -> Dict[int, float]:
+    """Parse one ``item:probability`` line into a unit dictionary."""
+    units: Dict[int, float] = {}
+    for token in line.split():
+        item_text, _, probability_text = token.partition(":")
+        if not probability_text:
+            raise ValueError(f"malformed unit {token!r}: expected item:probability")
+        units[int(item_text)] = float(probability_text)
+    return units
+
+
+def format_uncertain_line(units: Dict[int, float], precision: int = 6) -> str:
+    """Format a unit dictionary as one ``item:probability`` line."""
+    return " ".join(
+        f"{item}:{probability:.{precision}g}" for item, probability in sorted(units.items())
+    )
+
+
+def read_uncertain(source: PathOrFile, name: str = "") -> UncertainDatabase:
+    """Read a database written in the native ``item:probability`` format."""
+    handle, should_close = _open_for_read(source)
+    try:
+        records: List[Dict[int, float]] = []
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            records.append(parse_uncertain_line(line))
+    finally:
+        if should_close:
+            handle.close()
+    return UncertainDatabase.from_records(records, name=name)
+
+
+def write_uncertain(database: UncertainDatabase, target: PathOrFile, precision: int = 6) -> None:
+    """Write ``database`` in the native ``item:probability`` format."""
+    handle, should_close = _open_for_write(target)
+    try:
+        for transaction in database:
+            handle.write(format_uncertain_line(transaction.units, precision))
+            handle.write("\n")
+    finally:
+        if should_close:
+            handle.close()
+
+
+def _iterate_fimi(handle: Iterable[str]) -> Iterator[List[int]]:
+    for line in handle:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield [int(token) for token in line.split()]
+
+
+def read_fimi(
+    source: PathOrFile,
+    probability_model: Optional[Callable[[int, int], float]] = None,
+    name: str = "",
+) -> UncertainDatabase:
+    """Read a deterministic FIMI file and turn it into an uncertain database.
+
+    Parameters
+    ----------
+    source:
+        Path or open handle of a FIMI-format transaction file.
+    probability_model:
+        Callable ``(tid, item) -> probability`` used to assign an existence
+        probability to every occurrence, replicating the paper's methodology
+        of layering Gaussian or Zipf probabilities over deterministic
+        benchmarks.  When omitted, every occurrence gets probability 1.0 and
+        the result behaves like a deterministic database.
+    """
+    handle, should_close = _open_for_read(source)
+    try:
+        records: List[Dict[int, float]] = []
+        for tid, items in enumerate(_iterate_fimi(handle)):
+            if probability_model is None:
+                records.append({item: 1.0 for item in items})
+            else:
+                records.append({item: probability_model(tid, item) for item in items})
+    finally:
+        if should_close:
+            handle.close()
+    return UncertainDatabase.from_records(records, name=name)
+
+
+def write_fimi(database: UncertainDatabase, target: PathOrFile) -> None:
+    """Write only the item structure of ``database`` in FIMI format.
+
+    Probabilities are discarded; this is useful for comparing against
+    deterministic miners or exporting generated benchmarks.
+    """
+    handle, should_close = _open_for_write(target)
+    try:
+        for transaction in database:
+            handle.write(" ".join(str(item) for item in sorted(transaction.units)))
+            handle.write("\n")
+    finally:
+        if should_close:
+            handle.close()

@@ -1,0 +1,125 @@
+"""Possible-world semantics: sampling and exhaustive enumeration.
+
+An uncertain database induces a distribution over *possible worlds* — the
+deterministic databases obtained by independently deciding, for every unit,
+whether the item is present.  The support of an itemset in the uncertain
+database is exactly its (deterministic) support in a randomly drawn world.
+
+These utilities are the ground truth used by the test-suite: Monte-Carlo
+estimates and exhaustive enumeration of the world distribution validate the
+analytic support distributions computed by :mod:`repro.core.support` and the
+miners built on top of them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .database import UncertainDatabase
+
+__all__ = [
+    "sample_world",
+    "sample_worlds",
+    "enumerate_worlds",
+    "monte_carlo_support",
+    "world_count",
+]
+
+
+DeterministicWorld = List[Tuple[int, ...]]
+
+
+def sample_world(
+    database: UncertainDatabase, rng: np.random.Generator
+) -> DeterministicWorld:
+    """Draw one possible world: a list of deterministic transactions (item tuples)."""
+    world: DeterministicWorld = []
+    for transaction in database:
+        present = tuple(
+            item
+            for item, probability in transaction.units.items()
+            if rng.random() < probability
+        )
+        world.append(present)
+    return world
+
+
+def sample_worlds(
+    database: UncertainDatabase, n_worlds: int, seed: int = 0
+) -> Iterator[DeterministicWorld]:
+    """Yield ``n_worlds`` independent possible worlds."""
+    rng = np.random.default_rng(seed)
+    for _ in range(n_worlds):
+        yield sample_world(database, rng)
+
+
+def world_count(database: UncertainDatabase) -> int:
+    """Return the number of distinct possible worlds (2 ** number of uncertain units)."""
+    uncertain_units = sum(
+        1
+        for transaction in database
+        for probability in transaction.units.values()
+        if 0.0 < probability < 1.0
+    )
+    return 2 ** uncertain_units
+
+
+def enumerate_worlds(
+    database: UncertainDatabase,
+) -> Iterator[Tuple[float, DeterministicWorld]]:
+    """Exhaustively enumerate ``(probability, world)`` pairs.
+
+    Only feasible for tiny databases (the number of worlds is exponential in
+    the number of uncertain units); the test-suite uses it on paper-sized
+    examples such as Table 1.
+    """
+    transactions = list(database)
+
+    def _expand(index: int, probability: float, world: DeterministicWorld):
+        if index == len(transactions):
+            yield probability, list(world)
+            return
+        transaction = transactions[index]
+        units = list(transaction.units.items())
+
+        def _expand_units(unit_index: int, unit_probability: float, present: List[int]):
+            if unit_index == len(units):
+                world.append(tuple(present))
+                yield from _expand(index + 1, probability * unit_probability, world)
+                world.pop()
+                return
+            item, item_probability = units[unit_index]
+            if item_probability < 1.0:
+                yield from _expand_units(
+                    unit_index + 1, unit_probability * (1.0 - item_probability), present
+                )
+            if item_probability > 0.0:
+                present.append(item)
+                yield from _expand_units(
+                    unit_index + 1, unit_probability * item_probability, present
+                )
+                present.pop()
+
+        yield from _expand_units(0, 1.0, [])
+
+    yield from _expand(0, 1.0, [])
+
+
+def monte_carlo_support(
+    database: UncertainDatabase,
+    itemset: Sequence[int],
+    n_worlds: int = 2000,
+    seed: int = 0,
+) -> Dict[int, float]:
+    """Estimate the support distribution of ``itemset`` by sampling worlds.
+
+    Returns a dictionary mapping support values to estimated probabilities.
+    """
+    itemset = tuple(itemset)
+    counts: Dict[int, int] = {}
+    for world in sample_worlds(database, n_worlds, seed):
+        support = sum(1 for items in world if set(itemset) <= set(items))
+        counts[support] = counts.get(support, 0) + 1
+    return {support: count / n_worlds for support, count in counts.items()}

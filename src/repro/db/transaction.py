@@ -1,0 +1,106 @@
+"""Uncertain transactions: the atomic records of an uncertain database.
+
+An uncertain transaction is a set of *units*.  Each unit pairs an item
+with the probability that the item actually occurs in the transaction,
+exactly as in Definition 1 of Tong et al. (VLDB 2012).  Items are
+represented by integers for compactness; a :class:`repro.db.vocabulary.Vocabulary`
+maps them back to human-readable labels when needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+__all__ = ["UncertainTransaction"]
+
+
+def _validated_units(units: Mapping[int, float]) -> Dict[int, float]:
+    """Return a plain dict of item -> probability, validating every unit."""
+    cleaned: Dict[int, float] = {}
+    for item, probability in units.items():
+        item = int(item)
+        probability = float(probability)
+        if item < 0:
+            raise ValueError(f"item identifiers must be non-negative, got {item}")
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(
+                f"probability for item {item} must lie in [0, 1], got {probability}"
+            )
+        if probability > 0.0:
+            cleaned[item] = probability
+    return cleaned
+
+
+@dataclass(frozen=True)
+class UncertainTransaction:
+    """A single tuple ``<tid, {item: probability, ...}>`` of an uncertain database.
+
+    Items with probability zero are dropped on construction: a unit that can
+    never appear carries no information for any of the mining algorithms and
+    the paper's datasets never contain such units.
+
+    Parameters
+    ----------
+    tid:
+        The transaction identifier.  Identifiers need not be contiguous but
+        must be unique within a database.
+    units:
+        Mapping from item identifier to its existence probability.
+    """
+
+    tid: int
+    units: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "units", _validated_units(self.units))
+
+    # -- basic container behaviour -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.units)
+
+    def __iter__(self) -> Iterator[Tuple[int, float]]:
+        return iter(self.units.items())
+
+    def __contains__(self, item: int) -> bool:
+        return item in self.units
+
+    # -- probability queries --------------------------------------------------------
+    def probability(self, item: int) -> float:
+        """Return the existence probability of ``item`` (0.0 if absent)."""
+        return self.units.get(item, 0.0)
+
+    def itemset_probability(self, itemset: Iterable[int]) -> float:
+        """Return the probability that every item of ``itemset`` occurs here.
+
+        Items within one transaction are assumed independent, the standard
+        assumption shared by every algorithm in the paper, so the joint
+        probability is the product of the unit probabilities.  The product is
+        zero as soon as a single member is missing.
+        """
+        probability = 1.0
+        for item in itemset:
+            unit = self.units.get(item)
+            if unit is None:
+                return 0.0
+            probability *= unit
+        return probability
+
+    def items(self) -> Tuple[int, ...]:
+        """Return the items present in this transaction (probability > 0)."""
+        return tuple(self.units.keys())
+
+    def restricted_to(self, keep: Iterable[int]) -> "UncertainTransaction":
+        """Return a copy containing only the items in ``keep``.
+
+        This is the primitive used by the miners to trim globally infrequent
+        items out of the database before the expensive recursive phases.
+        """
+        keep_set = set(keep)
+        return UncertainTransaction(
+            self.tid, {i: p for i, p in self.units.items() if i in keep_set}
+        )
+
+    def expected_length(self) -> float:
+        """Return the expected number of items occurring in the transaction."""
+        return float(sum(self.units.values()))

@@ -1,0 +1,115 @@
+"""Integrity checks for uncertain databases.
+
+The paper stresses that inconsistent experimental conclusions often come
+from sloppy inputs (e.g. probabilities stored as floats vs doubles, items
+duplicated within a transaction).  :func:`validate_database` performs the
+checks a uniform benchmarking framework should enforce before any miner
+touches the data, and returns a structured report instead of raising so the
+evaluation harness can log warnings without aborting a sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .database import UncertainDatabase
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_database"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem discovered during validation."""
+
+    severity: str  # "error" or "warning"
+    tid: int  # -1 for database-level issues
+    message: str
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of validating a database."""
+
+    issues: List[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity == "error"]
+
+    @property
+    def warnings(self) -> List[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no errors were found (warnings are tolerated)."""
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        """Raise ``ValueError`` summarising the errors, if any."""
+        if self.errors:
+            summary = "; ".join(
+                f"tid={issue.tid}: {issue.message}" for issue in self.errors
+            )
+            raise ValueError(f"invalid uncertain database: {summary}")
+
+
+def validate_database(
+    database: UncertainDatabase,
+    low_probability_threshold: float = 1e-9,
+    warn_on_empty: bool = True,
+) -> ValidationReport:
+    """Check structural and probabilistic sanity of ``database``.
+
+    Errors
+        * probabilities outside ``[0, 1]`` (cannot normally happen because
+          transactions validate on construction, but guards against direct
+          mutation of ``units``),
+        * duplicate transaction identifiers.
+
+    Warnings
+        * empty transactions (legal but often a sign of over-aggressive
+          trimming),
+        * probabilities below ``low_probability_threshold`` that contribute
+          nothing but still cost time in every scan,
+        * an empty database.
+    """
+    report = ValidationReport()
+
+    if len(database) == 0:
+        report.issues.append(
+            ValidationIssue("warning", -1, "database contains no transactions")
+        )
+        return report
+
+    seen_tids = set()
+    for transaction in database:
+        if transaction.tid in seen_tids:
+            report.issues.append(
+                ValidationIssue("error", transaction.tid, "duplicate transaction identifier")
+            )
+        seen_tids.add(transaction.tid)
+
+        if warn_on_empty and len(transaction) == 0:
+            report.issues.append(
+                ValidationIssue("warning", transaction.tid, "empty transaction")
+            )
+        for item, probability in transaction.units.items():
+            if not 0.0 <= probability <= 1.0:
+                report.issues.append(
+                    ValidationIssue(
+                        "error",
+                        transaction.tid,
+                        f"item {item} has probability {probability} outside [0, 1]",
+                    )
+                )
+            elif probability < low_probability_threshold:
+                report.issues.append(
+                    ValidationIssue(
+                        "warning",
+                        transaction.tid,
+                        f"item {item} has negligible probability {probability}",
+                    )
+                )
+    return report

@@ -1,0 +1,67 @@
+"""Bidirectional mapping between item labels and integer identifiers.
+
+The mining algorithms operate on dense integer item identifiers for speed.
+Real datasets (FIMI text files, sensor readings, market baskets) name items
+with arbitrary strings; a :class:`Vocabulary` records the correspondence so
+results can be reported with the original labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Assigns stable integer identifiers to item labels.
+
+    Identifiers are handed out in first-seen order starting at zero, which
+    keeps them dense — an assumption several data structures (bitmap style
+    candidate hashing in UApriori, head tables in UH-Mine) rely on.
+    """
+
+    def __init__(self, labels: Optional[Iterable[str]] = None) -> None:
+        self._label_to_id: Dict[str, int] = {}
+        self._id_to_label: List[str] = []
+        if labels is not None:
+            for label in labels:
+                self.add(label)
+
+    def __len__(self) -> int:
+        return len(self._id_to_label)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._label_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_label)
+
+    def add(self, label: str) -> int:
+        """Return the identifier for ``label``, creating one if needed."""
+        label = str(label)
+        existing = self._label_to_id.get(label)
+        if existing is not None:
+            return existing
+        item_id = len(self._id_to_label)
+        self._label_to_id[label] = item_id
+        self._id_to_label.append(label)
+        return item_id
+
+    def id_of(self, label: str) -> int:
+        """Return the identifier of ``label``; raise ``KeyError`` if unknown."""
+        return self._label_to_id[str(label)]
+
+    def label_of(self, item_id: int) -> str:
+        """Return the label of ``item_id``; raise ``IndexError`` if unknown."""
+        if item_id < 0:
+            raise IndexError(f"item identifiers are non-negative, got {item_id}")
+        return self._id_to_label[item_id]
+
+    def labels_of(self, item_ids: Iterable[int]) -> List[str]:
+        """Return the labels for a sequence of identifiers."""
+        return [self.label_of(item_id) for item_id in item_ids]
+
+    def to_dict(self) -> Dict[str, int]:
+        """Return a copy of the label -> identifier mapping."""
+        return dict(self._label_to_id)

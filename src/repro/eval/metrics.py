@@ -1,0 +1,113 @@
+"""Accuracy metrics for comparing mining results.
+
+The paper evaluates the approximate probabilistic miners by *precision* and
+*recall* against the exact result set (Tables 8 and 9), and argues for the
+unification of the two frequent-itemset definitions by showing that the
+approximate probabilities converge to the exact ones as the database grows.
+These helpers implement exactly those measures over
+:class:`~repro.core.results.MiningResult` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.results import MiningResult
+
+__all__ = ["AccuracyReport", "precision", "recall", "f1_score", "compare_results"]
+
+
+def precision(approximate: MiningResult, exact: MiningResult) -> float:
+    """``|AR ∩ ER| / |AR|`` — the fraction of reported itemsets that are truly frequent.
+
+    Follows the paper's convention of reporting 1.0 when the approximate
+    result is empty (no false positives can exist).
+    """
+    approximate_keys = approximate.itemset_keys()
+    if not approximate_keys:
+        return 1.0
+    exact_keys = exact.itemset_keys()
+    return len(approximate_keys & exact_keys) / len(approximate_keys)
+
+
+def recall(approximate: MiningResult, exact: MiningResult) -> float:
+    """``|AR ∩ ER| / |ER|`` — the fraction of truly frequent itemsets that are reported."""
+    exact_keys = exact.itemset_keys()
+    if not exact_keys:
+        return 1.0
+    approximate_keys = approximate.itemset_keys()
+    return len(approximate_keys & exact_keys) / len(exact_keys)
+
+
+def f1_score(approximate: MiningResult, exact: MiningResult) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(approximate, exact)
+    r = recall(approximate, exact)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Precision/recall comparison of an approximate result against an exact one."""
+
+    precision: float
+    recall: float
+    f1: float
+    n_approximate: int
+    n_exact: int
+    n_common: int
+    false_positives: int
+    false_negatives: int
+    max_probability_error: Optional[float]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to a plain dictionary (for CSV reporting)."""
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "n_approximate": float(self.n_approximate),
+            "n_exact": float(self.n_exact),
+            "n_common": float(self.n_common),
+            "false_positives": float(self.false_positives),
+            "false_negatives": float(self.false_negatives),
+            "max_probability_error": (
+                self.max_probability_error if self.max_probability_error is not None else float("nan")
+            ),
+        }
+
+
+def compare_results(approximate: MiningResult, exact: MiningResult) -> AccuracyReport:
+    """Full accuracy comparison, including the largest frequent-probability error.
+
+    The probability error is only evaluated over itemsets present in both
+    results and carrying a probability on both sides (PDUApriori, for
+    instance, does not report probabilities, so the field is ``None``).
+    """
+    approximate_keys = approximate.itemset_keys()
+    exact_keys = exact.itemset_keys()
+    common = approximate_keys & exact_keys
+
+    max_error: Optional[float] = None
+    for itemset in common:
+        approximate_probability = approximate[itemset].frequent_probability
+        exact_probability = exact[itemset].frequent_probability
+        if approximate_probability is None or exact_probability is None:
+            continue
+        error = abs(approximate_probability - exact_probability)
+        max_error = error if max_error is None else max(max_error, error)
+
+    return AccuracyReport(
+        precision=precision(approximate, exact),
+        recall=recall(approximate, exact),
+        f1=f1_score(approximate, exact),
+        n_approximate=len(approximate_keys),
+        n_exact=len(exact_keys),
+        n_common=len(common),
+        false_positives=len(approximate_keys - exact_keys),
+        false_negatives=len(exact_keys - approximate_keys),
+        max_probability_error=max_error,
+    )

@@ -1,0 +1,134 @@
+"""Formatting sweep results as text tables, CSV files and summary matrices.
+
+The benchmark scripts print the same rows/series the paper reports:
+time/memory curves per algorithm (Figures 4-6), precision/recall tables
+(Tables 8-9) and the winner matrix of Table 10.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+from .runner import AccuracyPoint, SweepPoint
+
+__all__ = [
+    "format_table",
+    "sweep_to_series",
+    "format_sweep_table",
+    "format_accuracy_table",
+    "write_csv",
+    "summary_matrix",
+    "format_summary_matrix",
+]
+
+Row = Mapping[str, object]
+Point = Union[SweepPoint, AccuracyPoint]
+
+
+def format_table(rows: Sequence[Row], columns: Sequence[str], float_format: str = "{:.4g}") -> str:
+    """Render dictionaries as a fixed-width text table."""
+    rendered: List[List[str]] = [[str(column) for column in columns]]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [max(len(line[index]) for line in rendered) for index in range(len(columns))]
+    lines = []
+    for line_index, cells in enumerate(rendered):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(cells, widths)))
+        if line_index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def sweep_to_series(points: Iterable[SweepPoint], measure: str = "elapsed_seconds") -> Dict[str, List[tuple]]:
+    """Group sweep points into per-algorithm series ``[(value, measure), ...]``."""
+    series: Dict[str, List[tuple]] = defaultdict(list)
+    for point in points:
+        series[point.algorithm].append((point.value, getattr(point, measure)))
+    for values in series.values():
+        values.sort()
+    return dict(series)
+
+
+def format_sweep_table(points: Sequence[SweepPoint], measure: str = "elapsed_seconds") -> str:
+    """Render a sweep as one row per parameter value, one column per algorithm.
+
+    This is the textual analogue of one figure panel of the paper.
+    """
+    if not points:
+        return "(no data)"
+    parameter = points[0].parameter
+    algorithms = sorted({point.algorithm for point in points})
+    by_value: Dict[float, Dict[str, float]] = defaultdict(dict)
+    for point in points:
+        by_value[point.value][point.algorithm] = getattr(point, measure)
+    rows = []
+    for value in sorted(by_value):
+        row: Dict[str, object] = {parameter: value}
+        row.update(by_value[value])
+        rows.append(row)
+    return format_table(rows, [parameter] + algorithms)
+
+
+def format_accuracy_table(points: Sequence[AccuracyPoint]) -> str:
+    """Render an accuracy sweep in the layout of the paper's Tables 8 and 9."""
+    if not points:
+        return "(no data)"
+    parameter = points[0].parameter
+    algorithms = sorted({point.algorithm for point in points})
+    by_value: Dict[float, Dict[str, str]] = defaultdict(dict)
+    for point in points:
+        by_value[point.value][point.algorithm] = (
+            f"P={point.precision:.2f} R={point.recall:.2f}"
+        )
+    rows = []
+    for value in sorted(by_value):
+        row: Dict[str, object] = {parameter: value}
+        row.update(by_value[value])
+        rows.append(row)
+    return format_table(rows, [parameter] + algorithms)
+
+
+def write_csv(points: Sequence[Point], path: Union[str, os.PathLike]) -> None:
+    """Write sweep or accuracy points to a CSV file."""
+    points = list(points)
+    if not points:
+        raise ValueError("no points to write")
+    rows = [point.as_dict() for point in points]
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def summary_matrix(points: Iterable[SweepPoint], measure: str = "elapsed_seconds") -> Dict[str, str]:
+    """Winner per experiment: the analogue of the paper's Table 10.
+
+    For every experiment id, the algorithm with the smallest *total* value of
+    ``measure`` across the sweep is declared the winner.
+    """
+    totals: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
+    for point in points:
+        totals[point.experiment_id][point.algorithm] += getattr(point, measure)
+    winners: Dict[str, str] = {}
+    for experiment_id, by_algorithm in totals.items():
+        winners[experiment_id] = min(by_algorithm, key=by_algorithm.get)
+    return winners
+
+
+def format_summary_matrix(winners: Mapping[str, str]) -> str:
+    """Render the winner matrix as a text table."""
+    rows = [
+        {"experiment": experiment_id, "winner": winner}
+        for experiment_id, winner in sorted(winners.items())
+    ]
+    return format_table(rows, ["experiment", "winner"])

@@ -1,0 +1,184 @@
+"""Parameter-sweep runner turning experiment specs into measurement rows.
+
+The runner is the layer behind every benchmark script: given an
+:class:`~repro.eval.scenarios.ExperimentSpec`, it builds the dataset,
+dispatches the listed algorithms at every point of the sweep and collects a
+:class:`SweepPoint` per (algorithm, value) pair — running time, peak memory
+and result size, the uniform measures of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.miner import mine
+from ..core.registry import get_algorithm
+from ..core.results import MiningResult
+from ..datasets.registry import load_dataset
+from ..db.database import UncertainDatabase
+from .metrics import compare_results
+from .scenarios import ExperimentSpec
+
+__all__ = ["SweepPoint", "AccuracyPoint", "run_experiment", "run_accuracy_experiment"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measurement: one algorithm at one value of the swept parameter."""
+
+    experiment_id: str
+    dataset: str
+    algorithm: str
+    parameter: str
+    value: float
+    elapsed_seconds: float
+    peak_memory_bytes: int
+    n_itemsets: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "experiment_id": self.experiment_id,
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "parameter": self.parameter,
+            "value": self.value,
+            "elapsed_seconds": self.elapsed_seconds,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "n_itemsets": self.n_itemsets,
+        }
+
+
+@dataclass(frozen=True)
+class AccuracyPoint:
+    """Precision/recall of one approximate algorithm at one parameter value."""
+
+    experiment_id: str
+    dataset: str
+    algorithm: str
+    parameter: str
+    value: float
+    precision: float
+    recall: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "experiment_id": self.experiment_id,
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "parameter": self.parameter,
+            "value": self.value,
+            "precision": self.precision,
+            "recall": self.recall,
+        }
+
+
+def _build_dataset(spec: ExperimentSpec, value: float) -> UncertainDatabase:
+    """Build the dataset for one sweep point.
+
+    Dataset-shaping parameters (``n_transactions`` and ``skew``) force a
+    rebuild per point; threshold parameters reuse the kwargs untouched.
+    """
+    kwargs = dict(spec.dataset_kwargs)
+    if spec.parameter == "n_transactions":
+        kwargs["n_transactions"] = int(value)
+    elif spec.parameter == "skew":
+        kwargs["skew"] = float(value)
+    return load_dataset(spec.dataset, **kwargs)
+
+
+def _thresholds_for(spec: ExperimentSpec, value: float) -> Dict[str, float]:
+    """Resolve the threshold keyword arguments for one sweep point."""
+    thresholds: Dict[str, float] = dict(spec.fixed)
+    if spec.parameter in ("min_esup", "min_sup", "pft"):
+        thresholds[spec.parameter] = float(value)
+    return thresholds
+
+
+def _mine_point(
+    database: UncertainDatabase,
+    algorithm: str,
+    thresholds: Dict[str, float],
+    track_memory: bool,
+) -> MiningResult:
+    info = get_algorithm(algorithm)
+    kwargs: Dict[str, float] = {}
+    if info.family == "expected":
+        kwargs["min_esup"] = thresholds.get("min_esup", thresholds.get("min_sup", 0.5))
+    else:
+        kwargs["min_sup"] = thresholds.get("min_sup", thresholds.get("min_esup", 0.5))
+        kwargs["pft"] = thresholds.get("pft", 0.9)
+    return mine(database, algorithm=algorithm, track_memory=track_memory, **kwargs)
+
+
+def run_experiment(
+    spec: ExperimentSpec, max_points: Optional[int] = None
+) -> List[SweepPoint]:
+    """Run the full sweep of ``spec`` and return one row per (algorithm, value).
+
+    ``max_points`` truncates the sweep (used by the smoke tests and by
+    benchmark quick modes).
+    """
+    values = list(spec.values)
+    if max_points is not None:
+        values = values[:max_points]
+
+    points: List[SweepPoint] = []
+    shared_database: Optional[UncertainDatabase] = None
+    if spec.parameter not in ("n_transactions", "skew"):
+        shared_database = _build_dataset(spec, values[0]) if values else None
+
+    for value in values:
+        database = shared_database or _build_dataset(spec, value)
+        thresholds = _thresholds_for(spec, value)
+        for algorithm in spec.algorithms:
+            result = _mine_point(database, algorithm, thresholds, spec.track_memory)
+            points.append(
+                SweepPoint(
+                    experiment_id=spec.experiment_id,
+                    dataset=spec.dataset,
+                    algorithm=algorithm,
+                    parameter=spec.parameter,
+                    value=float(value),
+                    elapsed_seconds=result.statistics.elapsed_seconds,
+                    peak_memory_bytes=result.statistics.peak_memory_bytes,
+                    n_itemsets=len(result),
+                )
+            )
+    return points
+
+
+def run_accuracy_experiment(
+    spec: ExperimentSpec,
+    reference_algorithm: str = "dcb",
+    max_points: Optional[int] = None,
+) -> List[AccuracyPoint]:
+    """Run an accuracy sweep (Tables 8/9): approximate miners vs an exact reference."""
+    values = list(spec.values)
+    if max_points is not None:
+        values = values[:max_points]
+
+    points: List[AccuracyPoint] = []
+    shared_database: Optional[UncertainDatabase] = None
+    if spec.parameter not in ("n_transactions", "skew"):
+        shared_database = _build_dataset(spec, values[0]) if values else None
+
+    for value in values:
+        database = shared_database or _build_dataset(spec, value)
+        thresholds = _thresholds_for(spec, value)
+        exact = _mine_point(database, reference_algorithm, thresholds, False)
+        for algorithm in spec.algorithms:
+            approximate = _mine_point(database, algorithm, thresholds, False)
+            report = compare_results(approximate, exact)
+            points.append(
+                AccuracyPoint(
+                    experiment_id=spec.experiment_id,
+                    dataset=spec.dataset,
+                    algorithm=algorithm,
+                    parameter=spec.parameter,
+                    value=float(value),
+                    precision=report.precision,
+                    recall=report.recall,
+                )
+            )
+    return points

@@ -1,0 +1,362 @@
+"""Experiment scenarios: one specification per figure panel / table of the paper.
+
+Each :class:`ExperimentSpec` names the dataset (by registry name), the
+algorithms to compare, the swept parameter with its values and the fixed
+thresholds.  The default values reproduce the paper's parameter grids
+(Tables 6 and 7 and the axis ranges of Figures 4-6) at a scaled-down
+database size so a pure-Python sweep finishes in minutes; passing a larger
+``scale`` regenerates the original sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "ExperimentSpec",
+    "EXPECTED_ALGORITHMS",
+    "EXACT_ALGORITHMS",
+    "APPROXIMATE_ALGORITHMS",
+    "figure4_time_and_memory",
+    "figure4_scalability",
+    "figure4_zipf",
+    "figure5_min_sup",
+    "figure5_pft",
+    "figure5_scalability",
+    "figure5_zipf",
+    "figure6_min_sup",
+    "figure6_pft",
+    "figure6_scalability",
+    "figure6_zipf",
+    "table8_accuracy_dense",
+    "table9_accuracy_sparse",
+    "all_scenarios",
+]
+
+#: the three expected-support miners of Figure 4
+EXPECTED_ALGORITHMS = ("uapriori", "uh-mine", "ufp-growth")
+#: the four exact probabilistic configurations of Figure 5
+EXACT_ALGORITHMS = ("dpnb", "dpb", "dcnb", "dcb")
+#: the three approximate miners of Figure 6 (DCB is added as the exact reference)
+APPROXIMATE_ALGORITHMS = ("pdu-apriori", "ndu-apriori", "nduh-mine")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment: a dataset, a set of algorithms and a parameter sweep."""
+
+    experiment_id: str
+    title: str
+    dataset: str
+    algorithms: Sequence[str]
+    parameter: str
+    values: Sequence[float]
+    dataset_kwargs: Dict[str, object] = field(default_factory=dict)
+    fixed: Dict[str, float] = field(default_factory=dict)
+    track_memory: bool = False
+
+    def with_memory_tracking(self) -> "ExperimentSpec":
+        """Return a copy of this spec with peak-memory measurement enabled."""
+        return ExperimentSpec(
+            experiment_id=self.experiment_id + "-memory",
+            title=self.title + " (memory)",
+            dataset=self.dataset,
+            algorithms=self.algorithms,
+            parameter=self.parameter,
+            values=self.values,
+            dataset_kwargs=dict(self.dataset_kwargs),
+            fixed=dict(self.fixed),
+            track_memory=True,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: expected-support-based algorithms
+# ---------------------------------------------------------------------------
+
+_FIG4_GRIDS: Dict[str, Sequence[float]] = {
+    # The paper sweeps min_esup downwards; the grids mirror the x-axes of
+    # Figure 4 but stop before the pure-Python runs become hour-long.
+    "connect": (0.9, 0.8, 0.7, 0.6, 0.5),
+    "accident": (0.4, 0.3, 0.2, 0.1),
+    "kosarak": (0.1, 0.05, 0.01, 0.005),
+    "gazelle": (0.1, 0.05, 0.025, 0.01),
+}
+
+
+def figure4_time_and_memory(scale: float = 0.002, track_memory: bool = False) -> List[ExperimentSpec]:
+    """Figure 4(a-h): running time / memory of the expected-support miners vs ``min_esup``."""
+    panels = {"connect": "4a", "accident": "4b", "kosarak": "4c", "gazelle": "4d"}
+    specs = []
+    for dataset, panel in panels.items():
+        specs.append(
+            ExperimentSpec(
+                experiment_id=f"fig{panel}",
+                title=f"{dataset}: min_esup vs time",
+                dataset=dataset,
+                algorithms=EXPECTED_ALGORITHMS,
+                parameter="min_esup",
+                values=_FIG4_GRIDS[dataset],
+                dataset_kwargs={"scale": scale},
+                track_memory=track_memory,
+            )
+        )
+    return specs
+
+
+def figure4_scalability(sizes: Sequence[int] = (200, 400, 800, 1600, 3200)) -> ExperimentSpec:
+    """Figure 4(i-j): scalability of the expected-support miners on T25I15D."""
+    return ExperimentSpec(
+        experiment_id="fig4i",
+        title="T25I15D: number of transactions vs time",
+        dataset="t25i15d",
+        algorithms=EXPECTED_ALGORITHMS,
+        parameter="n_transactions",
+        values=tuple(sizes),
+        fixed={"min_esup": 0.1},
+    )
+
+
+def figure4_zipf(skews: Sequence[float] = (0.8, 1.2, 1.6, 2.0)) -> ExperimentSpec:
+    """Figure 4(k-l): effect of the Zipf skew on the expected-support miners."""
+    return ExperimentSpec(
+        experiment_id="fig4k",
+        title="Zipf dense: skew vs time",
+        dataset="zipf-dense",
+        algorithms=EXPECTED_ALGORITHMS,
+        parameter="skew",
+        values=tuple(skews),
+        dataset_kwargs={"n_transactions": 600},
+        fixed={"min_esup": 0.05},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: exact probabilistic algorithms
+# ---------------------------------------------------------------------------
+
+
+def figure5_min_sup(scale: float = 0.002, track_memory: bool = False) -> List[ExperimentSpec]:
+    """Figure 5(a-d): exact miners vs ``min_sup`` on Accident (dense) and Kosarak (sparse)."""
+    return [
+        ExperimentSpec(
+            experiment_id="fig5a",
+            title="accident: min_sup vs time (exact miners)",
+            dataset="accident",
+            algorithms=EXACT_ALGORITHMS,
+            parameter="min_sup",
+            values=(0.4, 0.3, 0.2, 0.1),
+            dataset_kwargs={"scale": scale},
+            fixed={"pft": 0.9},
+            track_memory=track_memory,
+        ),
+        ExperimentSpec(
+            experiment_id="fig5c",
+            title="kosarak: min_sup vs time (exact miners)",
+            dataset="kosarak",
+            algorithms=EXACT_ALGORITHMS,
+            parameter="min_sup",
+            values=(0.1, 0.05, 0.02, 0.01),
+            dataset_kwargs={"scale": scale},
+            fixed={"pft": 0.9},
+            track_memory=track_memory,
+        ),
+    ]
+
+
+def figure5_pft(scale: float = 0.002, track_memory: bool = False) -> List[ExperimentSpec]:
+    """Figure 5(e-h): exact miners vs ``pft``."""
+    return [
+        ExperimentSpec(
+            experiment_id="fig5e",
+            title="accident: pft vs time (exact miners)",
+            dataset="accident",
+            algorithms=EXACT_ALGORITHMS,
+            parameter="pft",
+            values=(0.9, 0.7, 0.5, 0.3, 0.1),
+            dataset_kwargs={"scale": scale},
+            fixed={"min_sup": 0.3},
+            track_memory=track_memory,
+        ),
+        ExperimentSpec(
+            experiment_id="fig5g",
+            title="kosarak: pft vs time (exact miners)",
+            dataset="kosarak",
+            algorithms=EXACT_ALGORITHMS,
+            parameter="pft",
+            values=(0.9, 0.7, 0.5, 0.3, 0.1),
+            dataset_kwargs={"scale": scale},
+            fixed={"min_sup": 0.05},
+            track_memory=track_memory,
+        ),
+    ]
+
+
+def figure5_scalability(sizes: Sequence[int] = (100, 200, 400, 800)) -> ExperimentSpec:
+    """Figure 5(i-j): scalability of the exact miners on T25I15D."""
+    return ExperimentSpec(
+        experiment_id="fig5i",
+        title="T25I15D: number of transactions vs time (exact miners)",
+        dataset="t25i15d",
+        algorithms=EXACT_ALGORITHMS,
+        parameter="n_transactions",
+        values=tuple(sizes),
+        fixed={"min_sup": 0.1, "pft": 0.9},
+    )
+
+
+def figure5_zipf(skews: Sequence[float] = (0.8, 1.2, 1.6, 2.0)) -> ExperimentSpec:
+    """Figure 5(k-l): effect of the Zipf skew on the exact miners."""
+    return ExperimentSpec(
+        experiment_id="fig5k",
+        title="Zipf dense: skew vs time (exact miners)",
+        dataset="zipf-dense",
+        algorithms=EXACT_ALGORITHMS,
+        parameter="skew",
+        values=tuple(skews),
+        dataset_kwargs={"n_transactions": 400},
+        fixed={"min_sup": 0.05, "pft": 0.9},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: approximate probabilistic algorithms (DCB as exact reference)
+# ---------------------------------------------------------------------------
+
+
+def figure6_min_sup(scale: float = 0.002, track_memory: bool = False) -> List[ExperimentSpec]:
+    """Figure 6(a-d): approximate miners (plus DCB) vs ``min_sup``."""
+    algorithms = ("dcb",) + APPROXIMATE_ALGORITHMS
+    return [
+        ExperimentSpec(
+            experiment_id="fig6a",
+            title="accident: min_sup vs time (approximate miners)",
+            dataset="accident",
+            algorithms=algorithms,
+            parameter="min_sup",
+            values=(0.4, 0.3, 0.2, 0.1),
+            dataset_kwargs={"scale": scale},
+            fixed={"pft": 0.9},
+            track_memory=track_memory,
+        ),
+        ExperimentSpec(
+            experiment_id="fig6c",
+            title="kosarak: min_sup vs time (approximate miners)",
+            dataset="kosarak",
+            algorithms=algorithms,
+            parameter="min_sup",
+            values=(0.1, 0.05, 0.01, 0.005),
+            dataset_kwargs={"scale": scale},
+            fixed={"pft": 0.9},
+            track_memory=track_memory,
+        ),
+    ]
+
+
+def figure6_pft(scale: float = 0.002, track_memory: bool = False) -> List[ExperimentSpec]:
+    """Figure 6(e-h): approximate miners (plus DCB) vs ``pft``."""
+    algorithms = ("dcb",) + APPROXIMATE_ALGORITHMS
+    return [
+        ExperimentSpec(
+            experiment_id="fig6e",
+            title="accident: pft vs time (approximate miners)",
+            dataset="accident",
+            algorithms=algorithms,
+            parameter="pft",
+            values=(0.9, 0.7, 0.5, 0.3, 0.1),
+            dataset_kwargs={"scale": scale},
+            fixed={"min_sup": 0.2},
+            track_memory=track_memory,
+        ),
+        ExperimentSpec(
+            experiment_id="fig6g",
+            title="kosarak: pft vs time (approximate miners)",
+            dataset="kosarak",
+            algorithms=algorithms,
+            parameter="pft",
+            values=(0.9, 0.7, 0.5, 0.3, 0.1),
+            dataset_kwargs={"scale": scale},
+            fixed={"min_sup": 0.05},
+            track_memory=track_memory,
+        ),
+    ]
+
+
+def figure6_scalability(sizes: Sequence[int] = (200, 400, 800, 1600, 3200)) -> ExperimentSpec:
+    """Figure 6(i-j): scalability of the approximate miners on T25I15D."""
+    return ExperimentSpec(
+        experiment_id="fig6i",
+        title="T25I15D: number of transactions vs time (approximate miners)",
+        dataset="t25i15d",
+        algorithms=APPROXIMATE_ALGORITHMS,
+        parameter="n_transactions",
+        values=tuple(sizes),
+        fixed={"min_sup": 0.1, "pft": 0.9},
+    )
+
+
+def figure6_zipf(skews: Sequence[float] = (0.8, 1.2, 1.6, 2.0)) -> ExperimentSpec:
+    """Figure 6(k-l): effect of the Zipf skew on the approximate miners."""
+    return ExperimentSpec(
+        experiment_id="fig6k",
+        title="Zipf dense: skew vs time (approximate miners)",
+        dataset="zipf-dense",
+        algorithms=APPROXIMATE_ALGORITHMS,
+        parameter="skew",
+        values=tuple(skews),
+        dataset_kwargs={"n_transactions": 600},
+        fixed={"min_sup": 0.05, "pft": 0.9},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tables 8 and 9: precision / recall of the approximate miners
+# ---------------------------------------------------------------------------
+
+
+def table8_accuracy_dense(scale: float = 0.002) -> ExperimentSpec:
+    """Table 8: approximation accuracy on the dense Accident analogue."""
+    return ExperimentSpec(
+        experiment_id="table8",
+        title="accident: precision/recall of approximate miners",
+        dataset="accident",
+        algorithms=APPROXIMATE_ALGORITHMS,
+        parameter="min_sup",
+        values=(0.4, 0.3, 0.2, 0.15, 0.1),
+        dataset_kwargs={"scale": scale},
+        fixed={"pft": 0.9},
+    )
+
+
+def table9_accuracy_sparse(scale: float = 0.002) -> ExperimentSpec:
+    """Table 9: approximation accuracy on the sparse Kosarak analogue."""
+    return ExperimentSpec(
+        experiment_id="table9",
+        title="kosarak: precision/recall of approximate miners",
+        dataset="kosarak",
+        algorithms=APPROXIMATE_ALGORITHMS,
+        parameter="min_sup",
+        values=(0.1, 0.05, 0.01, 0.005, 0.0025),
+        dataset_kwargs={"scale": scale},
+        fixed={"pft": 0.9},
+    )
+
+
+def all_scenarios(scale: float = 0.002) -> List[ExperimentSpec]:
+    """Every figure/table scenario with default (scaled-down) settings."""
+    specs: List[ExperimentSpec] = []
+    specs.extend(figure4_time_and_memory(scale))
+    specs.append(figure4_scalability())
+    specs.append(figure4_zipf())
+    specs.extend(figure5_min_sup(scale))
+    specs.extend(figure5_pft(scale))
+    specs.append(figure5_scalability())
+    specs.append(figure5_zipf())
+    specs.extend(figure6_min_sup(scale))
+    specs.extend(figure6_pft(scale))
+    specs.append(figure6_scalability())
+    specs.append(figure6_zipf())
+    specs.append(table8_accuracy_dense(scale))
+    specs.append(table9_accuracy_sparse(scale))
+    return specs

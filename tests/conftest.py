@@ -1,0 +1,57 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+import pytest
+
+from repro.db import DatabaseBuilder, UncertainDatabase, paper_example_database
+
+
+@pytest.fixture
+def paper_db() -> UncertainDatabase:
+    """The paper's Table 1 example (4 transactions, items A-F)."""
+    return paper_example_database()
+
+
+@pytest.fixture
+def tiny_db() -> UncertainDatabase:
+    """A three-transaction database small enough for exhaustive world enumeration."""
+    builder = DatabaseBuilder(name="tiny")
+    builder.add_transaction([(0, 0.5), (1, 0.9)])
+    builder.add_transaction([(0, 1.0), (2, 0.4)])
+    builder.add_transaction([(1, 0.3), (2, 0.8)])
+    return builder.build()
+
+
+def make_random_database(
+    n_transactions: int = 30,
+    n_items: int = 8,
+    density: float = 0.4,
+    seed: int = 0,
+    name: str = "random",
+) -> UncertainDatabase:
+    """Build a reproducible random uncertain database for consistency tests."""
+    rng = random.Random(seed)
+    records: List[Dict[int, float]] = []
+    for _ in range(n_transactions):
+        units: Dict[int, float] = {}
+        for item in range(n_items):
+            if rng.random() < density:
+                units[item] = round(rng.uniform(0.05, 1.0), 3)
+        records.append(units)
+    return UncertainDatabase.from_records(records, name=name)
+
+
+@pytest.fixture
+def random_db() -> UncertainDatabase:
+    """A medium random database (30 transactions, 8 items)."""
+    return make_random_database()
+
+
+@pytest.fixture(params=[1, 2, 3])
+def seeded_random_db(request) -> UncertainDatabase:
+    """Several random databases with different seeds."""
+    return make_random_database(seed=request.param, name=f"random-{request.param}")

@@ -1,0 +1,54 @@
+"""Tests for the brute-force baseline miners (the test-suite's own ground truth)."""
+
+import pytest
+
+from repro.algorithms import (
+    ExhaustiveExpectedSupportMiner,
+    ExhaustiveProbabilisticMiner,
+    possible_world_expected_support,
+)
+
+
+class TestExhaustiveExpectedSupport:
+    def test_paper_example(self, paper_db):
+        result = ExhaustiveExpectedSupportMiner().mine(paper_db, min_esup=0.5)
+        labels = {
+            tuple(paper_db.vocabulary.labels_of(record.itemset.items)) for record in result
+        }
+        assert labels == {("A",), ("C",)}
+
+    def test_max_size_limits_enumeration(self, paper_db):
+        result = ExhaustiveExpectedSupportMiner(max_size=1).mine(paper_db, min_esup=0.25)
+        assert result.max_size() == 1
+
+    def test_variance_reported(self, paper_db):
+        result = ExhaustiveExpectedSupportMiner().mine(paper_db, min_esup=0.5)
+        a = paper_db.vocabulary.id_of("A")
+        assert result[(a,)].variance == pytest.approx(paper_db.support_variance((a,)))
+
+
+class TestExhaustiveProbabilistic:
+    def test_paper_example(self, paper_db):
+        result = ExhaustiveProbabilisticMiner().mine(paper_db, min_sup=0.5, pft=0.7)
+        a = paper_db.vocabulary.id_of("A")
+        c = paper_db.vocabulary.id_of("C")
+        assert result.itemset_keys() == {result[(a,)].itemset, result[(c,)].itemset}
+        assert result[(a,)].frequent_probability == pytest.approx(0.8)
+
+    def test_respects_pft_strictly(self, paper_db):
+        result = ExhaustiveProbabilisticMiner().mine(paper_db, min_sup=0.5, pft=0.8)
+        a = paper_db.vocabulary.id_of("A")
+        assert result.get((a,)) is None
+
+
+class TestPossibleWorldEstimate:
+    def test_close_to_analytic_expected_support(self, paper_db):
+        a = paper_db.vocabulary.id_of("A")
+        estimate = possible_world_expected_support(paper_db, (a,), n_worlds=4000, seed=1)
+        assert estimate == pytest.approx(2.1, abs=0.1)
+
+    def test_pair_estimate(self, paper_db):
+        a = paper_db.vocabulary.id_of("A")
+        c = paper_db.vocabulary.id_of("C")
+        estimate = possible_world_expected_support(paper_db, (a, c), n_worlds=4000, seed=2)
+        assert estimate == pytest.approx(1.84, abs=0.1)

@@ -1,0 +1,124 @@
+"""Tests for the benchmark analogues (Table 6/7 shapes) and the dataset registry."""
+
+import pytest
+
+from repro.datasets import (
+    BENCHMARKS,
+    ZipfProbabilityModel,
+    dataset_names,
+    load_dataset,
+    make_accident,
+    make_benchmark,
+    make_connect,
+    make_gazelle,
+    make_kosarak,
+    make_t25i15d,
+    make_zipf_dense,
+    register_dataset,
+)
+from repro.db import UncertainDatabase, validate_database
+
+
+class TestBenchmarkSpecs:
+    def test_all_five_paper_datasets_present(self):
+        assert set(BENCHMARKS) == {"connect", "accident", "kosarak", "gazelle", "t25i15d320k"}
+
+    def test_published_shapes_recorded(self):
+        assert BENCHMARKS["connect"].n_items == 129
+        assert BENCHMARKS["kosarak"].n_transactions == 990_002
+        assert BENCHMARKS["t25i15d320k"].avg_transaction_length == 25.0
+
+
+class TestAnalogueShapes:
+    def test_connect_is_dense_with_long_transactions(self):
+        stats = make_connect(scale=0.002).stats()
+        assert stats.n_items <= 129
+        assert 35 <= stats.average_length <= 50
+        assert stats.density > 0.25
+        assert stats.average_probability > 0.8  # Gaussian(0.95, 0.05)
+
+    def test_accident_profile(self):
+        stats = make_accident(scale=0.002).stats()
+        assert 28 <= stats.average_length <= 40
+        assert 0.4 <= stats.average_probability <= 0.6  # Gaussian(0.5, 0.5)
+
+    def test_kosarak_is_sparse(self):
+        stats = make_kosarak(scale=0.002).stats()
+        assert stats.average_length < 12
+        assert stats.n_items >= 500
+        assert stats.density < 0.02
+
+    def test_gazelle_short_transactions_high_probability(self):
+        stats = make_gazelle(scale=0.002).stats()
+        assert stats.average_length < 4
+        assert stats.average_probability > 0.8
+
+    def test_t25i15d_average_length(self):
+        stats = make_t25i15d(n_transactions=400).stats()
+        assert 20 <= stats.average_length <= 30
+
+    def test_explicit_transaction_count(self):
+        database = make_benchmark("connect", n_transactions=77)
+        assert len(database) == 77
+
+    def test_scale_controls_size(self):
+        small = make_accident(scale=0.001)
+        large = make_accident(scale=0.003)
+        assert len(large) > len(small)
+
+    def test_generated_databases_are_valid(self):
+        for name in ("connect", "accident", "kosarak", "gazelle"):
+            database = make_benchmark(name, scale=0.001)
+            assert validate_database(database).ok
+
+    def test_deterministic_given_seed(self):
+        first = make_connect(scale=0.001, seed=3)
+        second = make_connect(scale=0.001, seed=3)
+        assert first[0].units == second[0].units
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            make_benchmark("netflix")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            make_benchmark("connect", scale=0.0)
+        with pytest.raises(ValueError):
+            make_benchmark("connect", scale=2.0)
+
+    def test_custom_probability_model(self):
+        database = make_benchmark(
+            "connect", scale=0.001, probability_model=ZipfProbabilityModel(skew=1.5, seed=1)
+        )
+        probabilities = {p for t in database for _, p in t}
+        assert probabilities <= set(ZipfProbabilityModel(skew=1.5).levels.tolist())
+
+    def test_zipf_dense_skew_reduces_probability_mass(self):
+        flat = make_zipf_dense(skew=0.8, n_transactions=200).stats()
+        steep = make_zipf_dense(skew=2.0, n_transactions=200).stats()
+        assert steep.average_probability < flat.average_probability
+
+
+class TestDatasetRegistry:
+    def test_default_registrations(self):
+        names = dataset_names()
+        for expected in ("connect", "accident", "kosarak", "gazelle", "t25i15d", "zipf-dense"):
+            assert expected in names
+
+    def test_load_dataset_forwards_kwargs(self):
+        database = load_dataset("t25i15d", n_transactions=123)
+        assert isinstance(database, UncertainDatabase)
+        assert len(database) == 123
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("unknown-dataset")
+
+    def test_register_custom_dataset(self):
+        register_dataset("custom-test-ds", lambda **kw: make_connect(scale=0.001), overwrite=True)
+        assert "custom-test-ds" in dataset_names()
+        assert len(load_dataset("custom-test-ds")) > 0
+
+    def test_duplicate_registration_needs_overwrite(self):
+        with pytest.raises(ValueError):
+            register_dataset("connect", make_connect)

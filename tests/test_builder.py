@@ -1,0 +1,63 @@
+"""Tests for the DatabaseBuilder and the paper example."""
+
+import pytest
+
+from repro.db import DatabaseBuilder, paper_example_database
+
+
+class TestDatabaseBuilder:
+    def test_labelled_transactions_create_vocabulary(self):
+        builder = DatabaseBuilder("demo")
+        builder.add_transaction([("milk", 0.9), ("bread", 0.4)])
+        builder.add_transaction([("milk", 0.5)])
+        database = builder.build()
+        assert database.name == "demo"
+        assert database.vocabulary is not None
+        milk = database.vocabulary.id_of("milk")
+        assert database.expected_support((milk,)) == pytest.approx(1.4)
+
+    def test_integer_transactions_have_no_vocabulary(self):
+        database = DatabaseBuilder().add_transaction([(0, 0.5)]).build()
+        assert database.vocabulary is None
+
+    def test_mixing_labels_and_integers_rejected(self):
+        builder = DatabaseBuilder()
+        builder.add_transaction([("a", 0.5)])
+        with pytest.raises(ValueError):
+            builder.add_transaction([(1, 0.5)])
+
+    def test_certain_transaction_defaults_to_probability_one(self):
+        database = DatabaseBuilder().add_certain_transaction(["a", "b"]).build()
+        assert database[0].units == {0: 1.0, 1: 1.0}
+
+    def test_certain_transaction_with_probability_model(self):
+        database = (
+            DatabaseBuilder()
+            .add_certain_transaction([0, 1], probability_model=lambda tid, item: 0.25)
+            .build()
+        )
+        assert database[0].units == {0: 0.25, 1: 0.25}
+
+    def test_builder_is_chainable(self):
+        database = (
+            DatabaseBuilder()
+            .add_transaction([(0, 0.5)])
+            .add_transaction([(1, 0.5)])
+            .build()
+        )
+        assert len(database) == 2
+
+
+class TestPaperExample:
+    def test_shape(self):
+        database = paper_example_database()
+        assert len(database) == 4
+        assert len(database.items()) == 6
+
+    def test_expected_supports_match_paper(self):
+        database = paper_example_database()
+        vocabulary = database.vocabulary
+        expected = {"A": 2.1, "B": 1.4, "C": 2.6, "D": 1.2, "E": 1.3, "F": 1.8}
+        for label, value in expected.items():
+            item = vocabulary.id_of(label)
+            assert database.expected_support((item,)) == pytest.approx(value)

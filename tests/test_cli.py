@@ -1,0 +1,65 @@
+"""Tests for the repro-mine command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.db import paper_example_database, write_uncertain
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_mine_command_defaults(self):
+        args = build_parser().parse_args(["mine"])
+        assert args.algorithm == "uapriori"
+        assert args.dataset == "accident"
+        assert args.pft == 0.9
+
+    def test_experiment_command_requires_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment"])
+
+
+class TestCommands:
+    def test_list_prints_algorithms_and_datasets(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "uapriori" in output
+        assert "kosarak" in output
+
+    def test_mine_benchmark_dataset(self, capsys):
+        code = main(["mine", "-a", "uh-mine", "-d", "gazelle", "--scale", "0.001", "--min-esup", "0.05"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "frequent itemsets" in output
+
+    def test_mine_probabilistic_algorithm(self, capsys):
+        code = main(
+            ["mine", "-a", "nduh-mine", "-d", "gazelle", "--scale", "0.001", "--min-sup", "0.05"]
+        )
+        assert code == 0
+        assert "frequent itemsets" in capsys.readouterr().out
+
+    def test_mine_from_file(self, tmp_path, capsys):
+        path = tmp_path / "paper.txt"
+        write_uncertain(paper_example_database(), path)
+        code = main(["mine", "-d", str(path), "--min-esup", "0.5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "2 frequent itemsets" in output
+
+    def test_experiment_table9_quick(self, capsys):
+        code = main(["experiment", "table9", "--scale", "0.001", "--max-points", "1"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "table9" in output
+        assert "P=" in output
+
+    def test_experiment_fig4_quick(self, capsys):
+        code = main(["experiment", "fig4", "--scale", "0.001", "--max-points", "1"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fig4a" in output
+        assert "uapriori" in output

@@ -1,0 +1,102 @@
+"""Property-based cross-algorithm consistency checks.
+
+The whole point of the paper is a *uniform* comparison: every algorithm of a
+family must return exactly the same itemsets for the same thresholds.  These
+tests generate random uncertain databases with hypothesis and assert that
+
+* the three expected-support miners agree with each other,
+* the four exact probabilistic configurations agree with each other,
+* the probabilistic result set is always a subset of the expected-support
+  result when ``min_esup = min_sup * pft`` (Markov's inequality),
+* expected supports reported by different miners are numerically identical.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import DCMiner, DPMiner, UApriori, UFPGrowth, UHMine
+from repro.db import UncertainDatabase
+
+
+@st.composite
+def uncertain_databases(draw, max_transactions=14, max_items=6):
+    n_transactions = draw(st.integers(min_value=1, max_value=max_transactions))
+    n_items = draw(st.integers(min_value=1, max_value=max_items))
+    records = []
+    for _ in range(n_transactions):
+        units = draw(
+            st.dictionaries(
+                st.integers(min_value=0, max_value=n_items - 1),
+                st.floats(min_value=0.05, max_value=1.0),
+                max_size=n_items,
+            )
+        )
+        records.append(units)
+    return UncertainDatabase.from_records(records)
+
+
+@given(uncertain_databases(), st.sampled_from([0.15, 0.3, 0.5]))
+@settings(max_examples=40, deadline=None)
+def test_expected_support_miners_agree(database, min_esup):
+    apriori = UApriori().mine(database, min_esup=min_esup)
+    uh = UHMine().mine(database, min_esup=min_esup)
+    ufp = UFPGrowth().mine(database, min_esup=min_esup)
+    assert apriori.itemset_keys() == uh.itemset_keys()
+    assert apriori.itemset_keys() == ufp.itemset_keys()
+
+
+@given(uncertain_databases(), st.sampled_from([0.15, 0.3, 0.5]))
+@settings(max_examples=40, deadline=None)
+def test_expected_supports_numerically_identical(database, min_esup):
+    apriori = UApriori().mine(database, min_esup=min_esup)
+    uh = UHMine().mine(database, min_esup=min_esup)
+    for record in apriori:
+        assert record.expected_support == pytest.approx(
+            uh[record.itemset].expected_support, abs=1e-9
+        )
+
+
+@given(uncertain_databases(), st.sampled_from([(0.3, 0.9), (0.5, 0.6), (0.2, 0.4)]))
+@settings(max_examples=30, deadline=None)
+def test_exact_probabilistic_miners_agree(database, thresholds):
+    min_sup, pft = thresholds
+    results = [
+        DPMiner(use_pruning=False).mine(database, min_sup=min_sup, pft=pft),
+        DPMiner(use_pruning=True).mine(database, min_sup=min_sup, pft=pft),
+        DCMiner(use_pruning=False).mine(database, min_sup=min_sup, pft=pft),
+        DCMiner(use_pruning=True).mine(database, min_sup=min_sup, pft=pft),
+    ]
+    reference = results[0].itemset_keys()
+    for result in results[1:]:
+        assert result.itemset_keys() == reference
+
+
+@given(uncertain_databases(), st.sampled_from([(0.3, 0.9), (0.4, 0.7)]))
+@settings(max_examples=30, deadline=None)
+def test_probabilistic_results_bounded_by_markov(database, thresholds):
+    """Pr[sup >= k] > pft implies esup > k * pft (Markov's inequality), so
+    every probabilistic frequent itemset has expected support above k * pft."""
+    min_sup, pft = thresholds
+    probabilistic = DCMiner().mine(database, min_sup=min_sup, pft=pft)
+    import math
+
+    min_count = math.ceil(len(database) * min_sup - 1e-12)
+    for record in probabilistic:
+        assert database.expected_support(record.itemset) > min_count * pft - 1e-9
+
+
+@given(uncertain_databases())
+@settings(max_examples=30, deadline=None)
+def test_results_shrink_as_threshold_grows(database):
+    low = UApriori().mine(database, min_esup=0.2)
+    high = UApriori().mine(database, min_esup=0.5)
+    assert high.itemset_keys() <= low.itemset_keys()
+
+
+@given(uncertain_databases())
+@settings(max_examples=30, deadline=None)
+def test_probabilistic_results_shrink_as_pft_grows(database):
+    low = DCMiner().mine(database, min_sup=0.3, pft=0.3)
+    high = DCMiner().mine(database, min_sup=0.3, pft=0.9)
+    assert high.itemset_keys() <= low.itemset_keys()

@@ -1,0 +1,134 @@
+"""Unit and property tests for UncertainDatabase."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import UncertainDatabase, UncertainTransaction
+
+
+def units_strategy():
+    return st.dictionaries(
+        st.integers(min_value=0, max_value=6),
+        st.floats(min_value=0.01, max_value=1.0),
+        max_size=5,
+    )
+
+
+def database_strategy(max_transactions: int = 12):
+    return st.lists(units_strategy(), min_size=1, max_size=max_transactions).map(
+        UncertainDatabase.from_records
+    )
+
+
+class TestContainer:
+    def test_len_iteration_and_indexing(self, paper_db):
+        assert len(paper_db) == 4
+        assert [t.tid for t in paper_db] == [0, 1, 2, 3]
+        assert paper_db[2].tid == 2
+
+    def test_duplicate_tids_rejected(self):
+        transactions = [UncertainTransaction(1, {0: 0.5}), UncertainTransaction(1, {1: 0.5})]
+        with pytest.raises(ValueError):
+            UncertainDatabase(transactions)
+
+    def test_items_sorted(self, paper_db):
+        assert paper_db.items() == sorted(paper_db.items())
+        assert len(paper_db.items()) == 6
+
+
+class TestStats:
+    def test_paper_example_stats(self, paper_db):
+        stats = paper_db.stats()
+        assert stats.n_transactions == 4
+        assert stats.n_items == 6
+        assert stats.average_length == pytest.approx(4.0)
+        assert stats.density == pytest.approx(4.0 / 6.0)
+
+    def test_empty_database_stats(self):
+        stats = UncertainDatabase([]).stats()
+        assert stats.n_transactions == 0
+        assert stats.average_length == 0.0
+        assert stats.density == 0.0
+
+
+class TestProbabilityPrimitives:
+    def test_expected_support_of_paper_items(self, paper_db):
+        vocabulary = paper_db.vocabulary
+        a = vocabulary.id_of("A")
+        c = vocabulary.id_of("C")
+        assert paper_db.expected_support((a,)) == pytest.approx(2.1)
+        assert paper_db.expected_support((c,)) == pytest.approx(2.6)
+
+    def test_expected_support_of_pair(self, paper_db):
+        vocabulary = paper_db.vocabulary
+        a, c = vocabulary.id_of("A"), vocabulary.id_of("C")
+        # A and C co-occur in T1 (0.72), T2 (0.72) and T3 (0.4).
+        assert paper_db.expected_support((a, c)) == pytest.approx(1.84)
+
+    def test_itemset_probabilities_vector(self, paper_db):
+        a = paper_db.vocabulary.id_of("A")
+        vector = paper_db.itemset_probabilities((a,))
+        assert vector.tolist() == pytest.approx([0.8, 0.8, 0.5, 0.0])
+
+    def test_support_variance_matches_bernoulli_sum(self, paper_db):
+        a = paper_db.vocabulary.id_of("A")
+        probabilities = paper_db.itemset_probabilities((a,))
+        expected_variance = float((probabilities * (1 - probabilities)).sum())
+        assert paper_db.support_variance((a,)) == pytest.approx(expected_variance)
+
+    @given(database_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_expected_support_antimonotone(self, database):
+        """esup of a superset never exceeds esup of a subset."""
+        items = database.items()
+        if len(items) < 2:
+            return
+        single = database.expected_support(items[:1])
+        pair = database.expected_support(items[:2])
+        assert pair <= single + 1e-9
+
+    @given(database_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_variance_bounded_by_quarter_n(self, database):
+        items = database.items()
+        if not items:
+            return
+        variance = database.support_variance(items[:1])
+        assert 0.0 <= variance <= len(database) / 4.0 + 1e-9
+
+
+class TestTransformations:
+    def test_restricted_to_preserves_transaction_count(self, paper_db):
+        a = paper_db.vocabulary.id_of("A")
+        restricted = paper_db.restricted_to({a})
+        assert len(restricted) == len(paper_db)
+        assert restricted.items() == [a]
+
+    def test_head_returns_prefix(self, paper_db):
+        head = paper_db.head(2)
+        assert len(head) == 2
+        assert [t.tid for t in head] == [0, 1]
+
+    def test_head_rejects_negative(self, paper_db):
+        with pytest.raises(ValueError):
+            paper_db.head(-1)
+
+    def test_split_halves(self, paper_db):
+        left, right = paper_db.split()
+        assert len(left) == 2 and len(right) == 2
+        assert [t.tid for t in left] + [t.tid for t in right] == [0, 1, 2, 3]
+
+    def test_from_labelled_records_builds_vocabulary(self):
+        database = UncertainDatabase.from_labelled_records(
+            [{"milk": 0.9, "bread": 0.5}, {"milk": 0.3}]
+        )
+        milk = database.vocabulary.id_of("milk")
+        assert database.expected_support((milk,)) == pytest.approx(1.2)
+
+    def test_expected_support_split_additivity(self, paper_db):
+        a = paper_db.vocabulary.id_of("A")
+        left, right = paper_db.split()
+        total = left.expected_support((a,)) + right.expected_support((a,))
+        assert total == pytest.approx(paper_db.expected_support((a,)))

@@ -1,0 +1,75 @@
+"""Degenerate case: an uncertain database with all probabilities equal to 1.
+
+When every unit is certain, the uncertain definitions must collapse onto the
+classic deterministic ones: the expected support equals the plain support
+count, the support variance is zero, and the frequent probability of any
+itemset is exactly 1 (if its support reaches the threshold) or 0 (otherwise).
+Every miner must therefore return exactly the classic frequent itemsets.
+"""
+
+import itertools
+
+import pytest
+
+from repro.algorithms import DCMiner, DPMiner, NDUApriori, NDUHMine, UApriori, UFPGrowth, UHMine
+from repro.db import UncertainDatabase
+
+TRANSACTIONS = [
+    {1, 2, 3},
+    {1, 2},
+    {2, 3},
+    {1, 2, 3, 4},
+    {2, 4},
+    {1, 3},
+]
+
+
+def deterministic_db() -> UncertainDatabase:
+    return UncertainDatabase.from_records(
+        [{item: 1.0 for item in items} for items in TRANSACTIONS], name="deterministic"
+    )
+
+
+def classic_frequent_itemsets(min_count: int):
+    """Plain deterministic frequent itemset mining by enumeration."""
+    items = sorted({item for transaction in TRANSACTIONS for item in transaction})
+    frequent = set()
+    for size in range(1, len(items) + 1):
+        for candidate in itertools.combinations(items, size):
+            support = sum(1 for t in TRANSACTIONS if set(candidate) <= t)
+            if support >= min_count:
+                frequent.add(candidate)
+    return frequent
+
+
+@pytest.mark.parametrize("min_ratio", [0.3, 0.5, 0.8])
+@pytest.mark.parametrize("miner_class", [UApriori, UHMine, UFPGrowth])
+def test_expected_support_miners_reduce_to_classic_mining(miner_class, min_ratio):
+    database = deterministic_db()
+    min_count = int(len(database) * min_ratio + 0.9999)
+    result = miner_class().mine(database, min_esup=min_ratio)
+    assert {record.itemset.items for record in result} == classic_frequent_itemsets(min_count)
+
+
+@pytest.mark.parametrize("min_ratio", [0.3, 0.5])
+@pytest.mark.parametrize("miner_class", [DPMiner, DCMiner, NDUApriori, NDUHMine])
+def test_probabilistic_miners_reduce_to_classic_mining(miner_class, min_ratio):
+    database = deterministic_db()
+    min_count = int(len(database) * min_ratio + 0.9999)
+    result = miner_class().mine(database, min_sup=min_ratio, pft=0.9)
+    assert {record.itemset.items for record in result} == classic_frequent_itemsets(min_count)
+
+
+def test_supports_are_integers_and_variance_zero():
+    database = deterministic_db()
+    result = UApriori(track_variance=True).mine(database, min_esup=0.3)
+    for record in result:
+        assert record.expected_support == pytest.approx(round(record.expected_support))
+        assert record.variance == pytest.approx(0.0)
+
+
+def test_frequent_probabilities_are_zero_or_one():
+    database = deterministic_db()
+    result = DCMiner().mine(database, min_sup=0.5, pft=0.5)
+    for record in result:
+        assert record.frequent_probability == pytest.approx(1.0)

@@ -1,0 +1,105 @@
+"""End-to-end integration tests crossing all layers of the library.
+
+These tests walk the full pipeline a user of the library would: generate a
+benchmark analogue, persist it to disk, reload it, mine it with algorithms
+from every family, compare the results, and feed them through the evaluation
+harness — asserting the qualitative findings of the paper along the way.
+"""
+
+import pytest
+
+import repro
+from repro.datasets import GaussianProbabilityModel, make_benchmark, make_kosarak
+from repro.db import read_uncertain, validate_database, write_uncertain
+from repro.eval import compare_results
+
+
+@pytest.fixture(scope="module")
+def kosarak_small():
+    return make_kosarak(scale=0.001, seed=5)
+
+
+class TestPersistenceRoundTrip:
+    def test_generated_benchmark_survives_disk_roundtrip(self, tmp_path, kosarak_small):
+        path = tmp_path / "kosarak.udb"
+        write_uncertain(kosarak_small, path)
+        reloaded = read_uncertain(path, name="kosarak-reloaded")
+        assert len(reloaded) == len(kosarak_small)
+        assert validate_database(reloaded).ok
+
+        original = repro.mine(kosarak_small, algorithm="uh-mine", min_esup=0.01)
+        restored = repro.mine(reloaded, algorithm="uh-mine", min_esup=0.01)
+        assert original.itemset_keys() == restored.itemset_keys()
+
+
+class TestCrossFamilyConsistencyOnBenchmarks:
+    def test_expected_support_miners_agree_on_generated_benchmark(self, kosarak_small):
+        results = {
+            name: repro.mine(kosarak_small, algorithm=name, min_esup=0.02)
+            for name in ("uapriori", "uh-mine", "ufp-growth")
+        }
+        reference = results["uapriori"].itemset_keys()
+        assert reference  # the scenario must be non-trivial
+        for result in results.values():
+            assert result.itemset_keys() == reference
+
+    def test_exact_miners_agree_on_generated_benchmark(self, kosarak_small):
+        results = {
+            name: repro.mine(kosarak_small, algorithm=name, min_sup=0.02, pft=0.9)
+            for name in ("dpb", "dcnb", "dcb")
+        }
+        reference = results["dcb"].itemset_keys()
+        for result in results.values():
+            assert result.itemset_keys() == reference
+
+    def test_normal_approximation_matches_exact_on_benchmark(self, kosarak_small):
+        exact = repro.mine(kosarak_small, algorithm="dcb", min_sup=0.02, pft=0.9)
+        approximate = repro.mine(kosarak_small, algorithm="nduh-mine", min_sup=0.02, pft=0.9)
+        report = compare_results(approximate, exact)
+        assert report.recall >= 0.95
+        assert report.precision >= 0.9
+
+
+class TestPaperFindingsQualitative:
+    def test_uapriori_wins_on_dense_high_threshold(self):
+        """Paper finding: dense data + high min_esup favours UApriori."""
+        dense = make_benchmark("connect", scale=0.002)
+        uapriori = repro.mine(dense, algorithm="uapriori", min_esup=0.6)
+        uh_mine = repro.mine(dense, algorithm="uh-mine", min_esup=0.6)
+        ufp = repro.mine(dense, algorithm="ufp-growth", min_esup=0.6)
+        assert uapriori.itemset_keys() == uh_mine.itemset_keys() == ufp.itemset_keys()
+        assert (
+            uapriori.statistics.elapsed_seconds
+            <= 3 * min(uh_mine.statistics.elapsed_seconds, ufp.statistics.elapsed_seconds)
+        )
+
+    def test_uh_mine_beats_uapriori_on_sparse_low_threshold(self, kosarak_small):
+        """Paper finding: sparse data + low threshold favours UH-Mine."""
+        uapriori = repro.mine(kosarak_small, algorithm="uapriori", min_esup=0.01)
+        uh_mine = repro.mine(kosarak_small, algorithm="uh-mine", min_esup=0.01)
+        assert uh_mine.itemset_keys() == uapriori.itemset_keys()
+        assert uh_mine.statistics.elapsed_seconds <= uapriori.statistics.elapsed_seconds
+
+    def test_chernoff_pruning_reduces_exact_evaluations(self, kosarak_small):
+        """Paper finding: the Chernoff bound is the key accelerator for exact miners."""
+        bounded = repro.mine(kosarak_small, algorithm="dcb", min_sup=0.05, pft=0.9)
+        unbounded = repro.mine(kosarak_small, algorithm="dcnb", min_sup=0.05, pft=0.9)
+        assert bounded.itemset_keys() == unbounded.itemset_keys()
+        assert (
+            bounded.statistics.exact_evaluations
+            <= unbounded.statistics.exact_evaluations
+        )
+
+    def test_most_frequent_probabilities_are_one_on_large_databases(self):
+        """Paper finding: on large databases the frequent probability is usually 1."""
+        database = make_benchmark(
+            "accident",
+            scale=0.003,
+            probability_model=GaussianProbabilityModel(mean=0.5, variance=0.5, seed=3),
+        )
+        result = repro.mine(database, algorithm="dcb", min_sup=0.2, pft=0.9)
+        assert len(result) > 0
+        share_of_ones = sum(
+            1 for record in result if record.frequent_probability > 0.999
+        ) / len(result)
+        assert share_of_ones >= 0.5

@@ -1,0 +1,166 @@
+"""Tests for the experiment scenarios, the sweep runner and the reporting layer."""
+
+import pytest
+
+from repro.eval import (
+    ExperimentSpec,
+    all_scenarios,
+    figure4_scalability,
+    figure4_time_and_memory,
+    figure5_min_sup,
+    figure6_min_sup,
+    format_accuracy_table,
+    format_summary_matrix,
+    format_sweep_table,
+    format_table,
+    run_accuracy_experiment,
+    run_experiment,
+    summary_matrix,
+    sweep_to_series,
+    table8_accuracy_dense,
+    write_csv,
+)
+from repro.eval.runner import SweepPoint
+
+
+class TestScenarioDefinitions:
+    def test_every_figure_and_table_has_a_scenario(self):
+        identifiers = {spec.experiment_id for spec in all_scenarios()}
+        for required in (
+            "fig4a", "fig4b", "fig4c", "fig4d", "fig4i", "fig4k",
+            "fig5a", "fig5c", "fig5e", "fig5g", "fig5i", "fig5k",
+            "fig6a", "fig6c", "fig6e", "fig6g", "fig6i", "fig6k",
+            "table8", "table9",
+        ):
+            assert required in identifiers
+
+    def test_fig4_uses_expected_support_miners(self):
+        for spec in figure4_time_and_memory():
+            assert set(spec.algorithms) == {"uapriori", "uh-mine", "ufp-growth"}
+            assert spec.parameter == "min_esup"
+
+    def test_fig5_uses_exact_miners(self):
+        for spec in figure5_min_sup():
+            assert set(spec.algorithms) == {"dpnb", "dpb", "dcnb", "dcb"}
+
+    def test_fig6_includes_dcb_reference(self):
+        for spec in figure6_min_sup():
+            assert "dcb" in spec.algorithms
+            assert "nduh-mine" in spec.algorithms
+
+    def test_memory_variant(self):
+        spec = figure4_scalability()
+        memory_spec = spec.with_memory_tracking()
+        assert memory_spec.track_memory
+        assert memory_spec.experiment_id.endswith("-memory")
+        assert not spec.track_memory
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def tiny_spec(self):
+        return ExperimentSpec(
+            experiment_id="unit-test",
+            title="tiny sweep",
+            dataset="gazelle",
+            algorithms=("uapriori", "uh-mine"),
+            parameter="min_esup",
+            values=(0.1, 0.05),
+            dataset_kwargs={"scale": 0.001},
+        )
+
+    def test_run_experiment_produces_one_point_per_algorithm_and_value(self, tiny_spec):
+        points = run_experiment(tiny_spec)
+        assert len(points) == 4
+        assert {point.algorithm for point in points} == {"uapriori", "uh-mine"}
+        assert all(point.elapsed_seconds >= 0 for point in points)
+        assert all(point.n_itemsets >= 0 for point in points)
+
+    def test_max_points_truncates(self, tiny_spec):
+        points = run_experiment(tiny_spec, max_points=1)
+        assert len(points) == 2
+        assert {point.value for point in points} == {0.1}
+
+    def test_dataset_shaping_parameter_rebuilds(self):
+        spec = ExperimentSpec(
+            experiment_id="unit-scal",
+            title="scalability",
+            dataset="t25i15d",
+            algorithms=("uh-mine",),
+            parameter="n_transactions",
+            values=(60, 120),
+            fixed={"min_esup": 0.1},
+        )
+        points = run_experiment(spec)
+        assert len(points) == 2
+
+    def test_accuracy_experiment(self):
+        spec = ExperimentSpec(
+            experiment_id="unit-acc",
+            title="accuracy",
+            dataset="gazelle",
+            algorithms=("ndu-apriori",),
+            parameter="min_sup",
+            values=(0.05,),
+            dataset_kwargs={"scale": 0.001},
+            fixed={"pft": 0.9},
+        )
+        points = run_accuracy_experiment(spec)
+        assert len(points) == 1
+        assert 0.0 <= points[0].precision <= 1.0
+        assert 0.0 <= points[0].recall <= 1.0
+
+
+class TestReporting:
+    def make_points(self):
+        return [
+            SweepPoint("fig", "ds", "alg-a", "min_esup", 0.5, 1.0, 100, 5),
+            SweepPoint("fig", "ds", "alg-b", "min_esup", 0.5, 2.0, 200, 5),
+            SweepPoint("fig", "ds", "alg-a", "min_esup", 0.4, 3.0, 150, 9),
+            SweepPoint("fig", "ds", "alg-b", "min_esup", 0.4, 1.5, 250, 9),
+        ]
+
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": "x"}], ["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("a")
+
+    def test_sweep_to_series(self):
+        series = sweep_to_series(self.make_points())
+        assert series["alg-a"] == [(0.4, 3.0), (0.5, 1.0)]
+
+    def test_format_sweep_table_contains_all_algorithms(self):
+        text = format_sweep_table(self.make_points())
+        assert "alg-a" in text and "alg-b" in text
+        assert "0.4" in text and "0.5" in text
+
+    def test_format_sweep_table_empty(self):
+        assert format_sweep_table([]) == "(no data)"
+
+    def test_summary_matrix_picks_fastest(self):
+        winners = summary_matrix(self.make_points())
+        # alg-a total 4.0s vs alg-b total 3.5s
+        assert winners == {"fig": "alg-b"}
+        assert "alg-b" in format_summary_matrix(winners)
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "points.csv"
+        write_csv(self.make_points(), path)
+        content = path.read_text().splitlines()
+        assert content[0].startswith("experiment_id,")
+        assert len(content) == 5
+
+    def test_write_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "empty.csv")
+
+    def test_format_accuracy_table(self):
+        spec = table8_accuracy_dense()
+        from repro.eval.runner import AccuracyPoint
+
+        points = [
+            AccuracyPoint(spec.experiment_id, "accident", "ndu-apriori", "min_sup", 0.3, 1.0, 0.98)
+        ]
+        text = format_accuracy_table(points)
+        assert "P=1.00" in text and "R=0.98" in text

@@ -1,0 +1,67 @@
+"""Tests for reading/writing uncertain databases as text."""
+
+import io
+
+import pytest
+
+from repro.db import read_fimi, read_uncertain, write_fimi, write_uncertain
+from repro.db.io import format_uncertain_line, parse_uncertain_line
+
+
+class TestUncertainFormat:
+    def test_parse_line(self):
+        assert parse_uncertain_line("3:0.8 17:0.25") == {3: 0.8, 17: 0.25}
+
+    def test_parse_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_uncertain_line("3 17")
+
+    def test_format_line_sorted(self):
+        assert format_uncertain_line({17: 0.25, 3: 0.8}) == "3:0.8 17:0.25"
+
+    def test_roundtrip_through_buffer(self, paper_db):
+        buffer = io.StringIO()
+        write_uncertain(paper_db, buffer)
+        buffer.seek(0)
+        restored = read_uncertain(buffer)
+        assert len(restored) == len(paper_db)
+        for original, copy in zip(paper_db, restored):
+            assert copy.units == pytest.approx(original.units)
+
+    def test_roundtrip_through_file(self, paper_db, tmp_path):
+        path = tmp_path / "paper.txt"
+        write_uncertain(paper_db, path)
+        restored = read_uncertain(path, name="paper")
+        assert restored.name == "paper"
+        assert len(restored) == 4
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# a comment\n\n1:0.5 2:0.25\n"
+        database = read_uncertain(io.StringIO(text))
+        assert len(database) == 1
+        assert database[0].units == {1: 0.5, 2: 0.25}
+
+
+class TestFimiFormat:
+    def test_read_without_model_gives_certain_items(self):
+        database = read_fimi(io.StringIO("1 2 3\n2 3\n"))
+        assert len(database) == 2
+        assert database[0].units == {1: 1.0, 2: 1.0, 3: 1.0}
+
+    def test_read_with_probability_model(self):
+        database = read_fimi(io.StringIO("1 2\n"), probability_model=lambda tid, item: 0.5)
+        assert database[0].units == {1: 0.5, 2: 0.5}
+
+    def test_write_fimi_drops_probabilities(self, paper_db, tmp_path):
+        path = tmp_path / "paper.fimi"
+        write_fimi(paper_db, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 4
+        assert all(":" not in line for line in lines)
+
+    def test_fimi_roundtrip_preserves_structure(self, paper_db, tmp_path):
+        path = tmp_path / "paper.fimi"
+        write_fimi(paper_db, path)
+        restored = read_fimi(path)
+        for original, copy in zip(paper_db, restored):
+            assert set(copy.units) == set(original.units)

@@ -1,0 +1,97 @@
+"""Unit and property tests for Itemset."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Itemset
+
+item_lists = st.lists(st.integers(min_value=0, max_value=50), max_size=8)
+
+
+class TestConstruction:
+    def test_items_are_sorted_and_deduplicated(self):
+        assert Itemset([3, 1, 3, 2]).items == (1, 2, 3)
+
+    def test_single_int_accepted(self):
+        assert Itemset(5).items == (5,)
+
+    def test_copy_constructor(self):
+        original = Itemset([1, 2])
+        assert Itemset(original) == original
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ValueError):
+            Itemset([-1])
+
+    def test_empty_itemset(self):
+        assert len(Itemset()) == 0
+
+
+class TestEqualityAndHashing:
+    def test_order_insensitive_equality(self):
+        assert Itemset([2, 1]) == Itemset([1, 2])
+
+    def test_equality_with_plain_sequences(self):
+        assert Itemset([1, 2]) == (2, 1)
+        assert Itemset([1, 2]) == {1, 2}
+
+    def test_hash_consistency(self):
+        assert hash(Itemset([2, 1])) == hash(Itemset([1, 2]))
+        assert len({Itemset([1, 2]), Itemset([2, 1])}) == 1
+
+    def test_ordering_is_lexicographic(self):
+        assert Itemset([1, 2]) < Itemset([1, 3])
+        assert sorted([Itemset([2]), Itemset([1, 5])]) == [Itemset([1, 5]), Itemset([2])]
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        assert Itemset([1]).union([2, 3]) == Itemset([1, 2, 3])
+
+    def test_intersection(self):
+        assert Itemset([1, 2, 3]).intersection([2, 3, 4]) == Itemset([2, 3])
+
+    def test_difference(self):
+        assert Itemset([1, 2, 3]).difference([2]) == Itemset([1, 3])
+
+    def test_subset_superset(self):
+        assert Itemset([1, 2]).issubset([1, 2, 3])
+        assert Itemset([1, 2, 3]).issuperset([3])
+        assert not Itemset([1, 4]).issubset([1, 2, 3])
+
+    def test_with_item(self):
+        assert Itemset([2]).with_item(1) == Itemset([1, 2])
+
+    def test_subsets_of_size(self):
+        subsets = set(Itemset([1, 2, 3]).subsets_of_size(2))
+        assert subsets == {Itemset([1, 2]), Itemset([1, 3]), Itemset([2, 3])}
+
+    def test_prefix(self):
+        assert Itemset([5, 1, 3]).prefix(2) == Itemset([1, 3])
+
+    def test_contains(self):
+        assert 2 in Itemset([1, 2])
+        assert 9 not in Itemset([1, 2])
+
+
+class TestProperties:
+    @given(item_lists, item_lists)
+    def test_union_is_commutative(self, left, right):
+        assert Itemset(left).union(right) == Itemset(right).union(left)
+
+    @given(item_lists, item_lists)
+    def test_intersection_subset_of_operands(self, left, right):
+        intersection = Itemset(left).intersection(right)
+        assert intersection.issubset(Itemset(left))
+        assert intersection.issubset(Itemset(right))
+
+    @given(item_lists)
+    def test_canonical_form_idempotent(self, items):
+        itemset = Itemset(items)
+        assert Itemset(itemset.items) == itemset
+
+    @given(item_lists, item_lists)
+    def test_difference_disjoint_from_other(self, left, right):
+        difference = Itemset(left).difference(right)
+        assert difference.intersection(right) == Itemset()

@@ -1,0 +1,84 @@
+"""Tests for the precision/recall metrics."""
+
+import pytest
+
+from repro.core import FrequentItemset, Itemset, MiningResult
+from repro.eval import compare_results, f1_score, precision, recall
+
+
+def result_of(itemsets, probabilities=None):
+    records = []
+    for index, items in enumerate(itemsets):
+        probability = None
+        if probabilities is not None:
+            probability = probabilities[index]
+        records.append(FrequentItemset(Itemset(items), float(index + 1), None, probability))
+    return MiningResult(records)
+
+
+class TestPrecisionRecall:
+    def test_perfect_agreement(self):
+        exact = result_of([(1,), (2,), (1, 2)])
+        approx = result_of([(1,), (2,), (1, 2)])
+        assert precision(approx, exact) == 1.0
+        assert recall(approx, exact) == 1.0
+        assert f1_score(approx, exact) == 1.0
+
+    def test_false_positive_lowers_precision_only(self):
+        exact = result_of([(1,), (2,)])
+        approx = result_of([(1,), (2,), (3,)])
+        assert precision(approx, exact) == pytest.approx(2 / 3)
+        assert recall(approx, exact) == 1.0
+
+    def test_false_negative_lowers_recall_only(self):
+        exact = result_of([(1,), (2,), (3,)])
+        approx = result_of([(1,)])
+        assert precision(approx, exact) == 1.0
+        assert recall(approx, exact) == pytest.approx(1 / 3)
+
+    def test_empty_approximate_result(self):
+        exact = result_of([(1,)])
+        approx = result_of([])
+        assert precision(approx, exact) == 1.0
+        assert recall(approx, exact) == 0.0
+        assert f1_score(approx, exact) == 0.0
+
+    def test_empty_exact_result(self):
+        exact = result_of([])
+        approx = result_of([(1,)])
+        assert recall(approx, exact) == 1.0
+        assert precision(approx, exact) == 0.0
+
+    def test_both_empty(self):
+        assert precision(result_of([]), result_of([])) == 1.0
+        assert recall(result_of([]), result_of([])) == 1.0
+
+
+class TestCompareResults:
+    def test_counts(self):
+        exact = result_of([(1,), (2,), (3,)])
+        approx = result_of([(1,), (2,), (4,)])
+        report = compare_results(approx, exact)
+        assert report.n_common == 2
+        assert report.false_positives == 1
+        assert report.false_negatives == 1
+        assert report.n_exact == 3
+        assert report.n_approximate == 3
+
+    def test_max_probability_error(self):
+        exact = result_of([(1,), (2,)], probabilities=[0.9, 0.8])
+        approx = result_of([(1,), (2,)], probabilities=[0.92, 0.7])
+        report = compare_results(approx, exact)
+        assert report.max_probability_error == pytest.approx(0.1)
+
+    def test_probability_error_none_when_missing(self):
+        exact = result_of([(1,)], probabilities=[0.9])
+        approx = result_of([(1,)])  # no probabilities (PDUApriori style)
+        report = compare_results(approx, exact)
+        assert report.max_probability_error is None
+
+    def test_as_dict_roundtrip(self):
+        report = compare_results(result_of([(1,)]), result_of([(1,)]))
+        flattened = report.as_dict()
+        assert flattened["precision"] == 1.0
+        assert flattened["n_common"] == 1.0

@@ -1,0 +1,85 @@
+"""Tests for the probability models layered over deterministic data."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ConstantProbabilityModel,
+    GaussianProbabilityModel,
+    UniformProbabilityModel,
+    ZipfProbabilityModel,
+)
+
+
+class TestConstantModel:
+    def test_returns_fixed_value(self):
+        model = ConstantProbabilityModel(0.3)
+        assert model(0, 0) == 0.3
+        assert model(5, 7) == 0.3
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ConstantProbabilityModel(1.5)
+
+
+class TestUniformModel:
+    def test_values_within_bounds(self):
+        model = UniformProbabilityModel(0.2, 0.6, seed=1)
+        draws = [model(0, i) for i in range(200)]
+        assert all(0.2 <= value <= 0.6 for value in draws)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformProbabilityModel(0.9, 0.1)
+
+
+class TestGaussianModel:
+    def test_values_clipped_to_unit_interval(self):
+        model = GaussianProbabilityModel(mean=0.95, variance=0.5, seed=2)
+        draws = [model(0, i) for i in range(500)]
+        assert all(0.0 < value <= 1.0 for value in draws)
+
+    def test_mean_tracks_parameter(self):
+        model = GaussianProbabilityModel(mean=0.5, variance=0.01, seed=3)
+        draws = np.array([model(0, i) for i in range(2000)])
+        assert abs(draws.mean() - 0.5) < 0.02
+
+    def test_high_mean_low_variance_profile(self):
+        """The paper's Connect profile (0.95, 0.05) yields mostly high probabilities."""
+        model = GaussianProbabilityModel(mean=0.95, variance=0.05, seed=4)
+        draws = np.array([model(0, i) for i in range(2000)])
+        assert np.median(draws) > 0.9
+
+    def test_deterministic_given_seed(self):
+        first = GaussianProbabilityModel(0.5, 0.1, seed=7)
+        second = GaussianProbabilityModel(0.5, 0.1, seed=7)
+        assert [first(0, i) for i in range(10)] == [second(0, i) for i in range(10)]
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProbabilityModel(0.5, -1.0)
+
+
+class TestZipfModel:
+    def test_values_come_from_level_grid(self):
+        model = ZipfProbabilityModel(skew=1.2, seed=5)
+        levels = set(model.levels.tolist())
+        draws = {model(0, i) for i in range(300)}
+        assert draws <= levels
+
+    def test_higher_skew_concentrates_on_zero(self):
+        """The paper's observation: more skew means more (near-)zero probabilities."""
+        low = ZipfProbabilityModel(skew=0.8, seed=6)
+        high = ZipfProbabilityModel(skew=2.0, seed=6)
+        low_draws = np.array([low(0, i) for i in range(2000)])
+        high_draws = np.array([high(0, i) for i in range(2000)])
+        assert (high_draws == 0.0).mean() > (low_draws == 0.0).mean()
+        assert high_draws.mean() < low_draws.mean()
+
+    def test_invalid_skew_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfProbabilityModel(skew=0.0)
+
+    def test_custom_levels(self):
+        model = ZipfProbabilityModel(skew=1.0, levels=np.array([0.5, 0.25]), seed=1)
+        assert set(model(0, i) for i in range(100)) <= {0.5, 0.25}

@@ -1,0 +1,77 @@
+"""Tests for the algorithm registry and the unified mine() front-end."""
+
+import pytest
+
+import repro
+from repro.core import algorithm_names, algorithms_in_family, get_algorithm, mine, register_algorithm
+from repro.core.registry import AlgorithmInfo
+
+
+EXPECTED_NAMES = {"uapriori", "ufp-growth", "uh-mine"}
+EXACT_NAMES = {"dpnb", "dpb", "dcnb", "dcb"}
+APPROXIMATE_NAMES = {"pdu-apriori", "ndu-apriori", "nduh-mine"}
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_registered(self):
+        names = set(algorithm_names())
+        assert EXPECTED_NAMES <= names
+        assert EXACT_NAMES <= names
+        assert APPROXIMATE_NAMES <= names
+
+    def test_families(self):
+        assert EXPECTED_NAMES <= set(algorithms_in_family("expected"))
+        assert EXACT_NAMES <= set(algorithms_in_family("exact"))
+        assert APPROXIMATE_NAMES <= set(algorithms_in_family("approximate"))
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_algorithm("UApriori").name == "uapriori"
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            get_algorithm("does-not-exist")
+
+    def test_info_fields(self):
+        info = get_algorithm("dcb")
+        assert isinstance(info, AlgorithmInfo)
+        assert info.family == "exact"
+        assert callable(info.factory)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_algorithm("uapriori", "expected", object)
+
+    def test_invalid_family_rejected(self):
+        with pytest.raises(ValueError):
+            register_algorithm("brand-new", "bogus-family", object)
+
+
+class TestMineDispatch:
+    def test_expected_algorithm_requires_min_esup(self, paper_db):
+        with pytest.raises(ValueError):
+            mine(paper_db, algorithm="uapriori")
+
+    def test_probabilistic_algorithm_requires_min_sup(self, paper_db):
+        with pytest.raises(ValueError):
+            mine(paper_db, algorithm="dcb")
+
+    def test_expected_dispatch(self, paper_db):
+        result = mine(paper_db, algorithm="uapriori", min_esup=0.5)
+        assert {record.itemset.items for record in result} == {(0,), (2,)}
+
+    def test_probabilistic_dispatch(self, paper_db):
+        result = mine(paper_db, algorithm="dcb", min_sup=0.5, pft=0.7)
+        assert len(result) == 2
+        assert all(record.frequent_probability is not None for record in result)
+
+    def test_options_forwarded_to_constructor(self, paper_db):
+        result = mine(paper_db, algorithm="uapriori", min_esup=0.5, track_variance=True)
+        assert all(record.variance is not None for record in result)
+
+    def test_statistics_record_algorithm_name(self, paper_db):
+        result = mine(paper_db, algorithm="uh-mine", min_esup=0.5)
+        assert result.statistics.algorithm == "uh-mine"
+
+    def test_top_level_reexports(self):
+        assert repro.mine is mine
+        assert "uapriori" in repro.algorithm_names()

@@ -1,0 +1,80 @@
+"""Tests for FrequentItemset records and MiningResult containers."""
+
+import pytest
+
+from repro.core import FrequentItemset, Itemset, MiningResult, MiningStatistics
+from repro.db import Vocabulary
+
+
+def make_result():
+    records = [
+        FrequentItemset(Itemset([1, 2]), 3.5, 0.4, 0.95),
+        FrequentItemset(Itemset([1]), 5.0, 0.5, None),
+        FrequentItemset(Itemset([2]), 4.0, None, 0.99),
+    ]
+    return MiningResult(records, MiningStatistics(algorithm="test"))
+
+
+class TestMiningResult:
+    def test_records_sorted_by_size_then_items(self):
+        result = make_result()
+        assert [record.itemset.items for record in result] == [(1,), (2,), (1, 2)]
+
+    def test_len_and_contains(self):
+        result = make_result()
+        assert len(result) == 3
+        assert (2, 1) in result
+        assert (3,) not in result
+
+    def test_lookup_by_any_itemset_like(self):
+        result = make_result()
+        assert result[(1, 2)].expected_support == pytest.approx(3.5)
+        assert result[Itemset([1])].expected_support == pytest.approx(5.0)
+
+    def test_get_with_default(self):
+        result = make_result()
+        assert result.get((9,)) is None
+        assert result.get((1,)).expected_support == pytest.approx(5.0)
+
+    def test_of_size_and_max_size(self):
+        result = make_result()
+        assert len(result.of_size(1)) == 2
+        assert result.max_size() == 2
+
+    def test_empty_result(self):
+        empty = MiningResult([])
+        assert len(empty) == 0
+        assert empty.max_size() == 0
+        assert empty.itemset_keys() == set()
+
+    def test_itemset_keys(self):
+        result = make_result()
+        assert Itemset([1, 2]) in result.itemset_keys()
+
+    def test_to_rows_plain(self):
+        rows = make_result().to_rows()
+        assert rows[0]["itemset"] == (1,)
+        assert rows[0]["size"] == 1
+        assert rows[2]["frequent_probability"] == pytest.approx(0.95)
+
+    def test_to_rows_with_vocabulary(self):
+        vocabulary = Vocabulary(["zero", "one", "two"])
+        rows = make_result().to_rows(vocabulary)
+        assert rows[0]["itemset"] == ("one",)
+        assert rows[2]["itemset"] == ("one", "two")
+
+    def test_statistics_default(self):
+        result = MiningResult([])
+        assert result.statistics.algorithm == ""
+        assert result.statistics.elapsed_seconds == 0.0
+
+
+class TestFrequentItemset:
+    def test_length_is_itemset_size(self):
+        record = FrequentItemset(Itemset([4, 5, 6]), 1.0)
+        assert len(record) == 3
+
+    def test_optional_fields_default_to_none(self):
+        record = FrequentItemset(Itemset([1]), 2.0)
+        assert record.variance is None
+        assert record.frequent_probability is None

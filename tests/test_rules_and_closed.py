@@ -1,0 +1,109 @@
+"""Tests for association-rule derivation and closed-itemset compression."""
+
+import pytest
+
+from repro.algorithms import UApriori
+from repro.core import Itemset, closed_itemsets, derive_rules
+from repro.db import DatabaseBuilder, UncertainDatabase
+
+
+@pytest.fixture
+def rule_db() -> UncertainDatabase:
+    """Bread & butter co-occur strongly; milk is independent filler."""
+    builder = DatabaseBuilder(name="rules")
+    for _ in range(8):
+        builder.add_transaction([("bread", 0.9), ("butter", 0.9), ("milk", 0.5)])
+    for _ in range(4):
+        builder.add_transaction([("milk", 0.9)])
+    for _ in range(4):
+        builder.add_transaction([("bread", 0.8)])
+    return builder.build()
+
+
+class TestDeriveRules:
+    def test_strong_rule_found(self, rule_db):
+        result = UApriori().mine(rule_db, min_esup=0.2)
+        rules = derive_rules(result, rule_db, min_confidence=0.5)
+        bread = rule_db.vocabulary.id_of("bread")
+        butter = rule_db.vocabulary.id_of("butter")
+        best = {(rule.antecedent.items, rule.consequent.items) for rule in rules}
+        assert ((butter,), (bread,)) in best  # butter -> bread is near-certain
+
+    def test_confidence_values_consistent_with_database(self, rule_db):
+        result = UApriori().mine(rule_db, min_esup=0.2)
+        for rule in derive_rules(result, rule_db, min_confidence=0.1):
+            joint = rule_db.expected_support(rule.antecedent.union(rule.consequent))
+            antecedent = rule_db.expected_support(rule.antecedent)
+            assert rule.expected_confidence == pytest.approx(
+                min(joint / antecedent, 1.0), abs=1e-9
+            )
+            assert 0.0 < rule.expected_confidence <= 1.0
+
+    def test_min_confidence_filters(self, rule_db):
+        result = UApriori().mine(rule_db, min_esup=0.2)
+        lenient = derive_rules(result, rule_db, min_confidence=0.1)
+        strict = derive_rules(result, rule_db, min_confidence=0.9)
+        assert len(strict) <= len(lenient)
+
+    def test_rules_sorted_by_confidence(self, rule_db):
+        result = UApriori().mine(rule_db, min_esup=0.2)
+        rules = derive_rules(result, rule_db, min_confidence=0.1)
+        confidences = [rule.expected_confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_lift_above_one_for_correlated_items(self, rule_db):
+        result = UApriori().mine(rule_db, min_esup=0.2)
+        rules = derive_rules(result, rule_db, min_confidence=0.5)
+        bread = rule_db.vocabulary.id_of("bread")
+        butter = rule_db.vocabulary.id_of("butter")
+        for rule in rules:
+            if rule.antecedent == Itemset([butter]) and rule.consequent == Itemset([bread]):
+                assert rule.lift > 1.0
+
+    def test_invalid_confidence_rejected(self, rule_db):
+        result = UApriori().mine(rule_db, min_esup=0.2)
+        with pytest.raises(ValueError):
+            derive_rules(result, rule_db, min_confidence=0.0)
+
+    def test_empty_database(self):
+        from repro.core import MiningResult
+
+        assert derive_rules(MiningResult([]), UncertainDatabase([])) == []
+
+    def test_max_consequent_size(self, rule_db):
+        result = UApriori().mine(rule_db, min_esup=0.1)
+        rules = derive_rules(result, rule_db, min_confidence=0.1, max_consequent_size=1)
+        assert all(len(rule.consequent) == 1 for rule in rules)
+
+
+class TestClosedItemsets:
+    def test_subset_with_equal_support_is_not_closed(self):
+        """If every bread transaction also (certainly) contains butter, {bread} is not closed."""
+        builder = DatabaseBuilder()
+        for _ in range(10):
+            builder.add_transaction([("bread", 0.8), ("butter", 1.0)])
+        database = builder.build()
+        result = UApriori().mine(database, min_esup=0.3)
+        closed = closed_itemsets(result)
+        bread = database.vocabulary.id_of("bread")
+        butter = database.vocabulary.id_of("butter")
+        assert closed.get((bread,)) is None  # absorbed by {bread, butter}
+        assert closed.get((bread, butter)) is not None
+        assert closed.get((butter,)) is not None  # {butter} has higher esup, stays closed
+
+    def test_closed_is_subset_of_frequent(self, rule_db):
+        result = UApriori().mine(rule_db, min_esup=0.2)
+        closed = closed_itemsets(result)
+        assert closed.itemset_keys() <= result.itemset_keys()
+
+    def test_maximal_itemsets_always_closed(self, rule_db):
+        result = UApriori().mine(rule_db, min_esup=0.2)
+        closed = closed_itemsets(result)
+        maximal_size = result.max_size()
+        for record in result.of_size(maximal_size):
+            assert record.itemset in closed.itemset_keys()
+
+    def test_statistics_carried_over(self, rule_db):
+        result = UApriori().mine(rule_db, min_esup=0.2)
+        closed = closed_itemsets(result)
+        assert closed.statistics is result.statistics

@@ -1,0 +1,73 @@
+"""Tests tying the analytic machinery to possible-world semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import SupportDistribution
+from repro.db import (
+    enumerate_worlds,
+    monte_carlo_support,
+    sample_world,
+    sample_worlds,
+    world_count,
+)
+
+
+class TestWorldCount:
+    def test_counts_only_uncertain_units(self, tiny_db):
+        # tiny_db has 6 units, one of which is certain (probability 1.0).
+        assert world_count(tiny_db) == 2 ** 5
+
+    def test_paper_example(self, paper_db):
+        assert world_count(paper_db) == 2 ** 16
+
+
+class TestEnumeration:
+    def test_world_probabilities_sum_to_one(self, tiny_db):
+        total = sum(probability for probability, _ in enumerate_worlds(tiny_db))
+        assert total == pytest.approx(1.0)
+
+    def test_enumerated_expected_support_matches_analytic(self, tiny_db):
+        target = {0}
+        expected = 0.0
+        for probability, world in enumerate_worlds(tiny_db):
+            expected += probability * sum(1 for items in world if target <= set(items))
+        assert expected == pytest.approx(tiny_db.expected_support((0,)))
+
+    def test_enumerated_support_distribution_matches_poisson_binomial(self, tiny_db):
+        distribution = SupportDistribution(tiny_db.itemset_probabilities((2,)))
+        enumerated = {}
+        for probability, world in enumerate_worlds(tiny_db):
+            support = sum(1 for items in world if 2 in items)
+            enumerated[support] = enumerated.get(support, 0.0) + probability
+        for support, probability in distribution.pmf_as_dict().items():
+            assert enumerated.get(support, 0.0) == pytest.approx(probability, abs=1e-9)
+
+    def test_certain_item_present_in_every_world(self, tiny_db):
+        # item 0 in transaction 1 has probability 1.0
+        for _, world in enumerate_worlds(tiny_db):
+            assert 0 in world[1]
+
+
+class TestSampling:
+    def test_sample_world_respects_certainty(self, tiny_db):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            world = sample_world(tiny_db, rng)
+            assert len(world) == len(tiny_db)
+            assert 0 in world[1]
+
+    def test_sample_worlds_is_deterministic_given_seed(self, tiny_db):
+        first = list(sample_worlds(tiny_db, 5, seed=42))
+        second = list(sample_worlds(tiny_db, 5, seed=42))
+        assert first == second
+
+    def test_monte_carlo_support_close_to_exact(self, tiny_db):
+        estimated = monte_carlo_support(tiny_db, (1,), n_worlds=4000, seed=1)
+        exact = SupportDistribution(tiny_db.itemset_probabilities((1,))).pmf_as_dict()
+        for support, probability in exact.items():
+            assert estimated.get(support, 0.0) == pytest.approx(probability, abs=0.05)
+
+    def test_monte_carlo_distribution_sums_to_one(self, tiny_db):
+        estimated = monte_carlo_support(tiny_db, (1,), n_worlds=500, seed=2)
+        assert sum(estimated.values()) == pytest.approx(1.0)

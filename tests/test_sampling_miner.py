@@ -1,0 +1,81 @@
+"""Tests for the possible-world sampling miner."""
+
+import pytest
+
+from repro.algorithms import DCMiner, WorldSamplingMiner
+from repro.eval import compare_results
+
+from conftest import make_random_database
+
+
+class TestConstruction:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            WorldSamplingMiner(n_worlds=0)
+        with pytest.raises(ValueError):
+            WorldSamplingMiner(slack=1.0)
+
+    def test_error_bound_shrinks_with_worlds(self):
+        small = WorldSamplingMiner(n_worlds=100).error_bound()
+        large = WorldSamplingMiner(n_worlds=10_000).error_bound()
+        assert large < small
+
+    def test_error_bound_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            WorldSamplingMiner().error_bound(delta=0.0)
+
+
+class TestCorrectness:
+    def test_paper_example(self, paper_db):
+        """{A} (Pr = 0.8) and {C} (Pr ~ 0.95) are found at pft = 0.7."""
+        result = WorldSamplingMiner(n_worlds=2000, seed=1).mine(
+            paper_db, min_sup=0.5, pft=0.7
+        )
+        a = paper_db.vocabulary.id_of("A")
+        c = paper_db.vocabulary.id_of("C")
+        assert {record.itemset.items for record in result} == {(a,), (c,)}
+        assert result[(a,)].frequent_probability == pytest.approx(0.8, abs=0.05)
+
+    def test_estimates_close_to_exact_probabilities(self):
+        database = make_random_database(n_transactions=40, n_items=6, density=0.5, seed=3)
+        sampled = WorldSamplingMiner(n_worlds=1500, seed=2).mine(
+            database, min_sup=0.25, pft=0.5
+        )
+        exact = DCMiner().mine(database, min_sup=0.25, pft=0.5)
+        for record in sampled:
+            exact_record = exact.get(record.itemset)
+            if exact_record is not None:
+                assert record.frequent_probability == pytest.approx(
+                    exact_record.frequent_probability, abs=0.08
+                )
+
+    def test_membership_close_to_exact(self):
+        database = make_random_database(n_transactions=60, n_items=6, density=0.5, seed=4)
+        sampled = WorldSamplingMiner(n_worlds=800, seed=5).mine(
+            database, min_sup=0.3, pft=0.9
+        )
+        exact = DCMiner().mine(database, min_sup=0.3, pft=0.9)
+        report = compare_results(sampled, exact)
+        assert report.recall >= 0.9
+        assert report.precision >= 0.8
+
+    def test_deterministic_given_seed(self, paper_db):
+        first = WorldSamplingMiner(n_worlds=300, seed=9).mine(paper_db, min_sup=0.5, pft=0.7)
+        second = WorldSamplingMiner(n_worlds=300, seed=9).mine(paper_db, min_sup=0.5, pft=0.7)
+        assert first.itemset_keys() == second.itemset_keys()
+        for record in first:
+            assert record.frequent_probability == second[record.itemset].frequent_probability
+
+    def test_registered_in_registry(self, paper_db):
+        import repro
+
+        assert "world-sampling" in repro.algorithm_names()
+        result = repro.mine(
+            paper_db, algorithm="world-sampling", min_sup=0.5, pft=0.7, n_worlds=500
+        )
+        assert len(result) >= 1
+
+    def test_statistics(self, paper_db):
+        result = WorldSamplingMiner(n_worlds=100).mine(paper_db, min_sup=0.5, pft=0.7)
+        assert result.statistics.notes["worlds_sampled"] == 100.0
+        assert result.statistics.exact_evaluations > 0

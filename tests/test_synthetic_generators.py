@@ -1,0 +1,115 @@
+"""Tests for the Quest and dense/sparse transaction generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ConstantProbabilityModel,
+    DenseSparseGenerator,
+    GaussianProbabilityModel,
+    QuestGenerator,
+    attach_probabilities,
+)
+
+
+class TestAttachProbabilities:
+    def test_default_probabilities_are_one(self):
+        database = attach_probabilities([[1, 2], [2, 3]])
+        assert database[0].units == {1: 1.0, 2: 1.0}
+
+    def test_probability_model_applied(self):
+        database = attach_probabilities([[1, 2]], ConstantProbabilityModel(0.4))
+        assert database[0].units == {1: 0.4, 2: 0.4}
+
+    def test_name_is_kept(self):
+        database = attach_probabilities([[1]], name="demo")
+        assert database.name == "demo"
+
+
+class TestQuestGenerator:
+    def test_transaction_count(self):
+        generator = QuestGenerator(n_items=100, avg_transaction_length=8, seed=1)
+        assert len(generator.generate_item_lists(50)) == 50
+
+    def test_average_length_close_to_target(self):
+        generator = QuestGenerator(n_items=200, avg_transaction_length=10, seed=2)
+        lists = generator.generate_item_lists(400)
+        average = np.mean([len(items) for items in lists])
+        assert 8 <= average <= 12
+
+    def test_items_within_vocabulary(self):
+        generator = QuestGenerator(n_items=50, avg_transaction_length=5, seed=3)
+        for items in generator.generate_item_lists(100):
+            assert all(0 <= item < 50 for item in items)
+            assert len(items) == len(set(items))
+
+    def test_deterministic_given_seed(self):
+        first = QuestGenerator(n_items=60, avg_transaction_length=6, seed=9)
+        second = QuestGenerator(n_items=60, avg_transaction_length=6, seed=9)
+        assert first.generate_item_lists(20) == second.generate_item_lists(20)
+
+    def test_generate_builds_named_database(self):
+        generator = QuestGenerator(n_items=60, avg_transaction_length=6, seed=4)
+        database = generator.generate(30, GaussianProbabilityModel(0.9, 0.1, seed=5))
+        assert len(database) == 30
+        assert database.name.startswith("T6I")
+
+    def test_patterns_create_cooccurrence(self):
+        """Quest data must contain correlated items (frequent 2-itemsets)."""
+        generator = QuestGenerator(n_items=100, avg_transaction_length=10, seed=6)
+        lists = generator.generate_item_lists(300)
+        pair_counts = {}
+        for items in lists:
+            ordered = sorted(items)
+            for i, left in enumerate(ordered):
+                for right in ordered[i + 1 :]:
+                    pair_counts[(left, right)] = pair_counts.get((left, right), 0) + 1
+        assert max(pair_counts.values()) > 30
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            QuestGenerator(n_items=0)
+        with pytest.raises(ValueError):
+            QuestGenerator(avg_transaction_length=0)
+
+
+class TestDenseSparseGenerator:
+    def test_average_length_calibrated(self):
+        generator = DenseSparseGenerator(n_items=129, avg_transaction_length=43, seed=1)
+        lists = generator.generate_item_lists(300)
+        average = np.mean([len(items) for items in lists])
+        assert 39 <= average <= 47
+
+    def test_dense_profile_has_head_of_common_items(self):
+        generator = DenseSparseGenerator(
+            n_items=129, avg_transaction_length=43, popularity_decay=0.6, max_inclusion=0.95
+        )
+        inclusion = generator.inclusion_probabilities
+        assert inclusion[0] == pytest.approx(0.95)
+        assert (inclusion >= 0.8).sum() >= 8
+
+    def test_sparse_profile_has_long_rare_tail(self):
+        generator = DenseSparseGenerator(
+            n_items=1000, avg_transaction_length=8, popularity_decay=1.1, max_inclusion=0.9
+        )
+        inclusion = generator.inclusion_probabilities
+        assert (inclusion < 0.05).sum() > 700
+
+    def test_inclusion_sums_to_average_length(self):
+        generator = DenseSparseGenerator(n_items=500, avg_transaction_length=12)
+        assert generator.inclusion_probabilities.sum() == pytest.approx(12, rel=0.01)
+
+    def test_transactions_never_empty(self):
+        generator = DenseSparseGenerator(n_items=400, avg_transaction_length=2, seed=8)
+        assert all(len(items) >= 1 for items in generator.generate_item_lists(200))
+
+    def test_deterministic_given_seed(self):
+        first = DenseSparseGenerator(n_items=50, avg_transaction_length=5, seed=11)
+        second = DenseSparseGenerator(n_items=50, avg_transaction_length=5, seed=11)
+        assert first.generate_item_lists(10) == second.generate_item_lists(10)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DenseSparseGenerator(n_items=10, avg_transaction_length=20)
+        with pytest.raises(ValueError):
+            DenseSparseGenerator(n_items=10, avg_transaction_length=5, max_inclusion=0.0)

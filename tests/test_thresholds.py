@@ -1,0 +1,46 @@
+"""Tests for threshold resolution (ratios vs absolute values)."""
+
+import pytest
+
+from repro.core import ExpectedSupportThreshold, ProbabilisticThreshold
+
+
+class TestExpectedSupportThreshold:
+    def test_ratio_resolution(self):
+        assert ExpectedSupportThreshold(0.5).absolute(100) == pytest.approx(50.0)
+
+    def test_absolute_passthrough(self):
+        assert ExpectedSupportThreshold(30).absolute(100) == pytest.approx(30.0)
+
+    def test_one_is_treated_as_ratio(self):
+        assert ExpectedSupportThreshold(1.0).absolute(40) == pytest.approx(40.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ExpectedSupportThreshold(-0.1)
+
+
+class TestProbabilisticThreshold:
+    def test_min_count_rounds_up(self):
+        assert ProbabilisticThreshold(0.5, 0.9).min_count(5) == 3
+        assert ProbabilisticThreshold(0.5, 0.9).min_count(4) == 2
+
+    def test_exact_integer_boundary_not_inflated(self):
+        # N * min_sup = 2.0 exactly; ceil must give 2, not 3.
+        assert ProbabilisticThreshold(0.2, 0.9).min_count(10) == 2
+
+    def test_absolute_count_passthrough(self):
+        assert ProbabilisticThreshold(7, 0.9).min_count(100) == 7
+
+    def test_pft_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            ProbabilisticThreshold(0.5, 0.0)
+        with pytest.raises(ValueError):
+            ProbabilisticThreshold(0.5, 1.0)
+
+    def test_negative_min_sup_rejected(self):
+        with pytest.raises(ValueError):
+            ProbabilisticThreshold(-1, 0.9)
+
+    def test_default_pft(self):
+        assert ProbabilisticThreshold(0.5).pft == 0.9

@@ -1,0 +1,81 @@
+"""Unit tests for UncertainTransaction."""
+
+import pytest
+
+from repro.db import UncertainTransaction
+
+
+class TestConstruction:
+    def test_basic_units_are_kept(self):
+        transaction = UncertainTransaction(1, {3: 0.5, 7: 1.0})
+        assert len(transaction) == 2
+        assert transaction.probability(3) == 0.5
+        assert transaction.probability(7) == 1.0
+
+    def test_zero_probability_units_are_dropped(self):
+        transaction = UncertainTransaction(1, {3: 0.0, 7: 0.2})
+        assert 3 not in transaction
+        assert 7 in transaction
+        assert len(transaction) == 1
+
+    def test_probability_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            UncertainTransaction(1, {3: 1.5})
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            UncertainTransaction(1, {3: -0.1})
+
+    def test_negative_item_rejected(self):
+        with pytest.raises(ValueError):
+            UncertainTransaction(1, {-2: 0.5})
+
+    def test_items_coerced_to_int(self):
+        transaction = UncertainTransaction(1, {"4": 0.5})
+        assert transaction.probability(4) == 0.5
+
+    def test_empty_transaction_is_allowed(self):
+        transaction = UncertainTransaction(9, {})
+        assert len(transaction) == 0
+        assert transaction.items() == ()
+
+
+class TestProbabilityQueries:
+    def test_absent_item_has_zero_probability(self):
+        transaction = UncertainTransaction(1, {3: 0.5})
+        assert transaction.probability(4) == 0.0
+
+    def test_itemset_probability_is_product(self):
+        transaction = UncertainTransaction(1, {1: 0.5, 2: 0.4, 3: 0.8})
+        assert transaction.itemset_probability((1, 2)) == pytest.approx(0.2)
+        assert transaction.itemset_probability((1, 2, 3)) == pytest.approx(0.16)
+
+    def test_itemset_probability_zero_when_item_missing(self):
+        transaction = UncertainTransaction(1, {1: 0.5})
+        assert transaction.itemset_probability((1, 2)) == 0.0
+
+    def test_empty_itemset_probability_is_one(self):
+        transaction = UncertainTransaction(1, {1: 0.5})
+        assert transaction.itemset_probability(()) == 1.0
+
+    def test_expected_length(self):
+        transaction = UncertainTransaction(1, {1: 0.5, 2: 0.25})
+        assert transaction.expected_length() == pytest.approx(0.75)
+
+
+class TestRestriction:
+    def test_restricted_to_keeps_only_listed_items(self):
+        transaction = UncertainTransaction(5, {1: 0.5, 2: 0.4, 3: 0.8})
+        restricted = transaction.restricted_to({1, 3})
+        assert set(restricted.items()) == {1, 3}
+        assert restricted.tid == 5
+        assert restricted.probability(1) == 0.5
+
+    def test_restriction_does_not_mutate_original(self):
+        transaction = UncertainTransaction(5, {1: 0.5, 2: 0.4})
+        transaction.restricted_to({1})
+        assert 2 in transaction
+
+    def test_iteration_yields_item_probability_pairs(self):
+        transaction = UncertainTransaction(5, {1: 0.5, 2: 0.4})
+        assert dict(iter(transaction)) == {1: 0.5, 2: 0.4}

@@ -1,0 +1,115 @@
+"""Tests for the UFP-growth miner and the UFP-tree structure."""
+
+import pytest
+
+from repro.algorithms import UApriori, UFPGrowth
+from repro.algorithms.ufp_growth import UFPTree
+from repro.core import Itemset
+
+from conftest import make_random_database
+
+
+class TestUFPTree:
+    def test_nodes_shared_only_on_identical_item_and_probability(self):
+        tree = UFPTree(item_order={1: 0, 2: 1})
+        tree.insert([(1, 0.5), (2, 0.3)])
+        tree.insert([(1, 0.5), (2, 0.4)])
+        tree.insert([(1, 0.6)])
+        # item 1 with probability 0.5 is shared; 0.6 creates a second node.
+        assert len(tree.nodes_of(1)) == 2
+        # item 2 probabilities differ, so two distinct nodes exist.
+        assert len(tree.nodes_of(2)) == 2
+
+    def test_item_expected_support_accumulates(self):
+        tree = UFPTree(item_order={1: 0})
+        tree.insert([(1, 0.5)])
+        tree.insert([(1, 0.5)])
+        tree.insert([(1, 0.2)])
+        assert tree.item_expected_support[1] == pytest.approx(1.2)
+
+    def test_prefix_path(self):
+        tree = UFPTree(item_order={1: 0, 2: 1, 3: 2})
+        tree.insert([(1, 0.9), (2, 0.8), (3, 0.7)])
+        node = tree.nodes_of(3)[0]
+        assert tree.prefix_path(node) == [(1, 0.9), (2, 0.8)]
+
+    def test_shared_prefix_increases_count(self):
+        tree = UFPTree(item_order={1: 0, 2: 1})
+        tree.insert([(1, 0.9), (2, 0.8)])
+        tree.insert([(1, 0.9)])
+        node = tree.nodes_of(1)[0]
+        assert node.count == 2
+
+
+class TestPaperExample:
+    def test_matches_paper_at_quarter_support(self, paper_db):
+        """The paper builds the UFP-tree for Table 1 at min_esup = 0.25."""
+        result = UFPGrowth().mine(paper_db, min_esup=0.25)
+        vocabulary = paper_db.vocabulary
+        labels = {
+            frozenset(vocabulary.labels_of(record.itemset.items)) for record in result
+        }
+        assert frozenset({"A"}) in labels
+        assert frozenset({"C"}) in labels
+        assert frozenset({"A", "C"}) in labels
+        assert frozenset({"C", "E"}) in labels
+
+    def test_item_order_by_expected_support(self, paper_db):
+        """The paper orders items C, A, F, B, E, D for the Table 1 database."""
+        miner = UFPGrowth()
+        from repro.algorithms.common import frequent_items_by_expected_support
+
+        frequent = frequent_items_by_expected_support(paper_db, 1.0)
+        tree = miner._build_global_tree(paper_db, frequent)
+        vocabulary = paper_db.vocabulary
+        ordered = sorted(tree.item_order, key=tree.item_order.get)
+        assert vocabulary.labels_of(ordered) == ["C", "A", "F", "B", "E", "D"]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("min_esup", [0.1, 0.2, 0.35])
+    def test_matches_uapriori(self, seeded_random_db, min_esup):
+        tree_result = UFPGrowth().mine(seeded_random_db, min_esup=min_esup)
+        apriori_result = UApriori().mine(seeded_random_db, min_esup=min_esup)
+        assert tree_result.itemset_keys() == apriori_result.itemset_keys()
+
+    @pytest.mark.parametrize("min_esup", [0.15, 0.3])
+    def test_expected_supports_are_exact(self, random_db, min_esup):
+        result = UFPGrowth().mine(random_db, min_esup=min_esup)
+        for record in result:
+            assert record.expected_support == pytest.approx(
+                random_db.expected_support(record.itemset), abs=1e-9
+            )
+
+    def test_probability_rounding_option(self, random_db):
+        """Coarse rounding keeps the same frequent items (it only merges nodes)."""
+        exact = UFPGrowth().mine(random_db, min_esup=0.3)
+        rounded = UFPGrowth(probability_precision=6).mine(random_db, min_esup=0.3)
+        assert exact.itemset_keys() == rounded.itemset_keys()
+
+    def test_single_item_variance_when_tracked(self, paper_db):
+        result = UFPGrowth(track_variance=True).mine(paper_db, min_esup=0.5)
+        a = paper_db.vocabulary.id_of("A")
+        assert result[(a,)].variance == pytest.approx(paper_db.support_variance((a,)))
+
+
+class TestBehaviour:
+    def test_limited_sharing_produces_many_nodes(self):
+        """Distinct probabilities prevent node sharing (the paper's criticism)."""
+        database = make_random_database(n_transactions=40, n_items=6, density=0.8, seed=9)
+        miner = UFPGrowth()
+        result = miner.mine(database, min_esup=0.1)
+        # With continuous probabilities, the global tree has nearly one node per unit.
+        total_units = sum(len(t) for t in database)
+        assert result.statistics.notes["global_tree_nodes"] >= 0.75 * total_units
+
+    def test_conditional_tree_count_recorded(self, random_db):
+        result = UFPGrowth().mine(random_db, min_esup=0.15)
+        assert result.statistics.notes.get("conditional_trees", 0) >= len(result)
+
+    def test_empty_result_above_max_support(self, paper_db):
+        assert len(UFPGrowth().mine(paper_db, min_esup=0.95)) == 0
+
+    def test_statistics_algorithm_name(self, paper_db):
+        result = UFPGrowth().mine(paper_db, min_esup=0.5)
+        assert result.statistics.algorithm == "ufp-growth"

@@ -1,0 +1,55 @@
+"""Tests for database validation."""
+
+import pytest
+
+from repro.db import UncertainDatabase, UncertainTransaction, validate_database
+
+
+def test_clean_database_passes(paper_db):
+    report = validate_database(paper_db)
+    assert report.ok
+    assert report.errors == []
+
+
+def test_empty_database_warns():
+    report = validate_database(UncertainDatabase([]))
+    assert report.ok
+    assert len(report.warnings) == 1
+
+
+def test_empty_transaction_warns():
+    database = UncertainDatabase([UncertainTransaction(0, {}), UncertainTransaction(1, {0: 0.5})])
+    report = validate_database(database)
+    assert report.ok
+    assert any("empty transaction" in issue.message for issue in report.warnings)
+
+
+def test_empty_transaction_warning_can_be_disabled():
+    database = UncertainDatabase([UncertainTransaction(0, {})])
+    report = validate_database(database, warn_on_empty=False)
+    assert report.warnings == []
+
+
+def test_negligible_probability_warns():
+    database = UncertainDatabase([UncertainTransaction(0, {0: 1e-12})])
+    report = validate_database(database)
+    assert report.ok
+    assert any("negligible" in issue.message for issue in report.warnings)
+
+
+def test_mutated_probability_out_of_range_is_an_error():
+    transaction = UncertainTransaction(0, {0: 0.5})
+    transaction.units[0] = 1.5  # simulate direct mutation bypassing validation
+    report = validate_database(UncertainDatabase([transaction]))
+    assert not report.ok
+    with pytest.raises(ValueError):
+        report.raise_if_invalid()
+
+
+def test_report_separates_errors_and_warnings():
+    good = UncertainTransaction(0, {0: 0.5})
+    empty = UncertainTransaction(1, {})
+    report = validate_database(UncertainDatabase([good, empty]))
+    assert len(report.errors) == 0
+    assert len(report.warnings) == 1
+    assert report.issues == report.warnings

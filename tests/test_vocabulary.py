@@ -1,0 +1,56 @@
+"""Unit tests for the item Vocabulary."""
+
+import pytest
+
+from repro.db import Vocabulary
+
+
+class TestVocabulary:
+    def test_identifiers_are_dense_and_first_seen(self):
+        vocabulary = Vocabulary()
+        assert vocabulary.add("apple") == 0
+        assert vocabulary.add("banana") == 1
+        assert vocabulary.add("apple") == 0
+        assert len(vocabulary) == 2
+
+    def test_constructor_accepts_initial_labels(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        assert vocabulary.id_of("c") == 2
+
+    def test_label_roundtrip(self):
+        vocabulary = Vocabulary(["x", "y"])
+        assert vocabulary.label_of(vocabulary.id_of("y")) == "y"
+
+    def test_labels_of_sequence(self):
+        vocabulary = Vocabulary(["x", "y", "z"])
+        assert vocabulary.labels_of([2, 0]) == ["z", "x"]
+
+    def test_unknown_label_raises(self):
+        vocabulary = Vocabulary(["x"])
+        with pytest.raises(KeyError):
+            vocabulary.id_of("nope")
+
+    def test_unknown_id_raises(self):
+        vocabulary = Vocabulary(["x"])
+        with pytest.raises(IndexError):
+            vocabulary.label_of(5)
+        with pytest.raises(IndexError):
+            vocabulary.label_of(-1)
+
+    def test_contains_and_iteration(self):
+        vocabulary = Vocabulary(["x", "y"])
+        assert "x" in vocabulary
+        assert "q" not in vocabulary
+        assert list(vocabulary) == ["x", "y"]
+
+    def test_to_dict_returns_copy(self):
+        vocabulary = Vocabulary(["x"])
+        mapping = vocabulary.to_dict()
+        mapping["x"] = 99
+        assert vocabulary.id_of("x") == 0
+
+    def test_non_string_labels_are_stringified(self):
+        vocabulary = Vocabulary()
+        identifier = vocabulary.add(42)
+        assert vocabulary.label_of(identifier) == "42"
+        assert vocabulary.id_of("42") == identifier
