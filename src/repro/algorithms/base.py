@@ -14,10 +14,11 @@ probability).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Optional
 
 from ..core.results import MiningResult, MiningStatistics
 from ..core.thresholds import ExpectedSupportThreshold, ProbabilisticThreshold
-from ..db.database import UncertainDatabase
+from ..db.database import UncertainDatabase, resolve_backend
 
 __all__ = ["MinerBase", "ExpectedSupportMiner", "ProbabilisticMiner"]
 
@@ -30,16 +31,26 @@ class MinerBase(ABC):
     track_memory:
         When True the run records its peak Python-heap allocation in the
         result statistics (used by the memory-cost experiments).
+    backend:
+        Probability-evaluation backend: ``"columnar"`` (vectorized batched
+        evaluation through the database's columnar view) or ``"rows"`` (the
+        original per-transaction Python loops, kept as the correctness
+        oracle).  ``None`` resolves to the database default (columnar).
     """
 
     #: Registry name; subclasses override.
     name: str = "base"
 
-    def __init__(self, track_memory: bool = False) -> None:
+    def __init__(
+        self, track_memory: bool = False, backend: Optional[str] = None
+    ) -> None:
         self.track_memory = track_memory
+        self.backend = resolve_backend(backend)
 
     def _new_statistics(self) -> MiningStatistics:
-        return MiningStatistics(algorithm=self.name)
+        statistics = MiningStatistics(algorithm=self.name)
+        statistics.notes["backend"] = float(self.backend == "columnar")
+        return statistics
 
 
 class ExpectedSupportMiner(MinerBase):

@@ -18,7 +18,7 @@ the small databases used by the test-suite.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import List
+from typing import List, Optional
 
 from ..core.itemset import Itemset
 from ..core.results import FrequentItemset, MiningResult
@@ -40,27 +40,34 @@ class ExhaustiveExpectedSupportMiner(ExpectedSupportMiner):
 
     name = "exhaustive-expected"
 
-    def __init__(self, max_size: int = 6, track_memory: bool = False) -> None:
-        super().__init__(track_memory=track_memory)
+    def __init__(
+        self,
+        max_size: int = 6,
+        track_memory: bool = False,
+        backend: Optional[str] = None,
+    ) -> None:
+        super().__init__(track_memory=track_memory, backend=backend)
         self.max_size = max_size
 
     def _mine(self, database: UncertainDatabase, min_expected_support: float) -> MiningResult:
         statistics = self._new_statistics()
         with instrumented_run(statistics, self.track_memory):
             frequent_items = sorted(
-                frequent_items_by_expected_support(database, min_expected_support)
+                frequent_items_by_expected_support(
+                    database, min_expected_support, backend=self.backend
+                )
             )
             records: List[FrequentItemset] = []
             for size in range(1, min(self.max_size, len(frequent_items)) + 1):
                 for candidate in combinations(frequent_items, size):
                     statistics.candidates_generated += 1
-                    expected = database.expected_support(candidate)
+                    expected = database.expected_support(candidate, backend=self.backend)
                     if expected >= min_expected_support:
                         records.append(
                             FrequentItemset(
                                 Itemset(candidate),
                                 expected,
-                                database.support_variance(candidate),
+                                database.support_variance(candidate, backend=self.backend),
                             )
                         )
         return MiningResult(records, statistics)
@@ -71,20 +78,25 @@ class ExhaustiveProbabilisticMiner(ProbabilisticMiner):
 
     name = "exhaustive-probabilistic"
 
-    def __init__(self, max_size: int = 6, track_memory: bool = False) -> None:
-        super().__init__(track_memory=track_memory)
+    def __init__(
+        self,
+        max_size: int = 6,
+        track_memory: bool = False,
+        backend: Optional[str] = None,
+    ) -> None:
+        super().__init__(track_memory=track_memory, backend=backend)
         self.max_size = max_size
 
     def _mine(self, database: UncertainDatabase, min_count: int, pft: float) -> MiningResult:
         statistics = self._new_statistics()
         with instrumented_run(statistics, self.track_memory):
-            items = sorted(item_statistics(database))
+            items = sorted(item_statistics(database, backend=self.backend))
             records: List[FrequentItemset] = []
             for size in range(1, min(self.max_size, len(items)) + 1):
                 for candidate in combinations(items, size):
                     statistics.candidates_generated += 1
                     distribution = SupportDistribution(
-                        database.itemset_probabilities(candidate)
+                        database.itemset_probabilities(candidate, backend=self.backend)
                     )
                     probability = distribution.frequent_probability(min_count)
                     statistics.exact_evaluations += 1

@@ -16,10 +16,13 @@ import time
 import tracemalloc
 from contextlib import contextmanager
 from itertools import combinations
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from ..core.results import MiningStatistics
-from ..db.database import UncertainDatabase
+from ..db.columnar import ColumnarView
+from ..db.database import UncertainDatabase, resolve_backend
 
 __all__ = [
     "instrumented_run",
@@ -29,6 +32,10 @@ __all__ = [
     "has_infrequent_subset",
     "trim_transactions",
     "itemset_probability_vector",
+    "CandidateSource",
+    "RowCandidateSource",
+    "ColumnarCandidateSource",
+    "make_candidate_source",
 ]
 
 
@@ -60,12 +67,16 @@ def instrumented_run(statistics: MiningStatistics, track_memory: bool = False):
 
 
 def item_statistics(
-    database: UncertainDatabase,
+    database: UncertainDatabase, backend: Optional[str] = None
 ) -> Dict[int, Tuple[float, float]]:
     """Return ``{item: (expected_support, variance)}`` for every item.
 
     One full database scan; the first step of every miner in the paper.
+    With the columnar backend the scan is a pair of NumPy reductions per
+    item column instead of a per-unit Python loop.
     """
+    if resolve_backend(backend) == "columnar":
+        return database.columnar().item_statistics()
     statistics: Dict[int, List[float]] = {}
     for transaction in database:
         for item, probability in transaction.units.items():
@@ -79,12 +90,14 @@ def item_statistics(
 
 
 def frequent_items_by_expected_support(
-    database: UncertainDatabase, min_expected_support: float
+    database: UncertainDatabase,
+    min_expected_support: float,
+    backend: Optional[str] = None,
 ) -> Dict[int, Tuple[float, float]]:
     """Return the items whose expected support reaches ``min_expected_support``."""
     return {
         item: stats
-        for item, stats in item_statistics(database).items()
+        for item, stats in item_statistics(database, backend=backend).items()
         if stats[0] >= min_expected_support
     }
 
@@ -161,3 +174,65 @@ def itemset_probability_vector(
         if probability > 0.0:
             vector.append(probability)
     return vector
+
+
+class CandidateSource:
+    """Uniform supplier of per-candidate probability vectors for one miner run.
+
+    The level-wise miners do not care how ``p_i(X)`` is produced — only that
+    a whole Apriori level of candidates yields one compressed (zeros-omitted)
+    vector per candidate.  :class:`RowCandidateSource` wraps the trimmed
+    row-dictionary scan; :class:`ColumnarCandidateSource` delegates to the
+    database's columnar view, where candidates sharing a prefix reuse the
+    prefix intersection.
+    """
+
+    backend: str = "rows"
+
+    def level_vectors(self, candidates: Sequence[Tuple[int, ...]]) -> List[np.ndarray]:
+        raise NotImplementedError
+
+
+class RowCandidateSource(CandidateSource):
+    """Per-candidate scans over trimmed ``{item: probability}`` rows."""
+
+    backend = "rows"
+
+    def __init__(self, transactions: List[Dict[int, float]]) -> None:
+        self.transactions = transactions
+
+    def level_vectors(self, candidates: Sequence[Tuple[int, ...]]) -> List[np.ndarray]:
+        return [
+            np.asarray(
+                itemset_probability_vector(self.transactions, candidate), dtype=float
+            )
+            for candidate in candidates
+        ]
+
+
+class ColumnarCandidateSource(CandidateSource):
+    """Batched sparse-intersection evaluation over the columnar view."""
+
+    backend = "columnar"
+
+    def __init__(self, view: ColumnarView) -> None:
+        self.view = view
+
+    def level_vectors(self, candidates: Sequence[Tuple[int, ...]]) -> List[np.ndarray]:
+        return self.view.batch_vectors(candidates)
+
+
+def make_candidate_source(
+    database: UncertainDatabase,
+    frequent_items: Iterable[int],
+    backend: Optional[str] = None,
+) -> CandidateSource:
+    """Build the candidate source for a run.
+
+    The row source materialises the trimmed projection once (the classic
+    optimisation); the columnar source needs no trimming because only the
+    columns of frequent items are ever queried.
+    """
+    if resolve_backend(backend) == "columnar":
+        return ColumnarCandidateSource(database.columnar())
+    return RowCandidateSource(trim_transactions(database, frequent_items))

@@ -10,11 +10,11 @@ configurations: ``dcb`` (with Chernoff-bound pruning) and ``dcnb`` (without).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.support import exact_pmf_divide_conquer
+from ..core.support import SupportEngine, exact_pmf_divide_conquer
 from .probabilistic_apriori import ProbabilisticAprioriMiner
 
 __all__ = ["DCMiner"]
@@ -43,11 +43,13 @@ class DCMiner(ProbabilisticAprioriMiner):
         use_fft: bool = True,
         item_prefilter: bool = True,
         track_memory: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         super().__init__(
             use_pruning=use_pruning,
             item_prefilter=item_prefilter,
             track_memory=track_memory,
+            backend=backend,
         )
         self.use_fft = use_fft
         self.name = "dcb" if use_pruning else "dcnb"
@@ -62,3 +64,13 @@ class DCMiner(ProbabilisticAprioriMiner):
         pmf = exact_pmf_divide_conquer(np.asarray(probabilities, dtype=float), self.use_fft)
         tail = float(pmf[min_count:].sum())
         return max(0.0, min(1.0, tail))
+
+    def _frequent_probabilities_batch(
+        self, engine: SupportEngine, min_count: int
+    ) -> np.ndarray:
+        # The convolution recursion is inherently per-candidate; the engine
+        # path covers the FFT default, the direct-convolution ablation keeps
+        # the scalar loop.
+        if self.use_fft:
+            return engine.frequent_probabilities(min_count, method="divide_conquer")
+        return super()._frequent_probabilities_batch(engine, min_count)

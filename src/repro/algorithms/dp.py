@@ -10,9 +10,11 @@ paper's experiments: ``dpb`` (with Chernoff-bound pruning) and ``dpnb``
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from ..core.support import frequent_probability_dynamic_programming
+import numpy as np
+
+from ..core.support import SupportEngine, frequent_probability_dynamic_programming
 from .probabilistic_apriori import ProbabilisticAprioriMiner
 
 __all__ = ["DPMiner"]
@@ -36,11 +38,13 @@ class DPMiner(ProbabilisticAprioriMiner):
         use_pruning: bool = True,
         item_prefilter: bool = True,
         track_memory: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         super().__init__(
             use_pruning=use_pruning,
             item_prefilter=item_prefilter,
             track_memory=track_memory,
+            backend=backend,
         )
         self.name = "dpb" if use_pruning else "dpnb"
 
@@ -48,3 +52,11 @@ class DPMiner(ProbabilisticAprioriMiner):
         self, probabilities: Sequence[float], min_count: int
     ) -> float:
         return frequent_probability_dynamic_programming(probabilities, min_count)
+
+    def _frequent_probabilities_batch(
+        self, engine: SupportEngine, min_count: int
+    ) -> np.ndarray:
+        # One vectorized DP sweep over the whole level: the recurrence is
+        # advanced across the (zero-padded) transaction axis with every
+        # candidate updated per step, bitwise identical to the scalar DP.
+        return engine.frequent_probabilities(min_count, method="dynamic_programming")

@@ -12,9 +12,11 @@ definitions can be unified.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from ..core.support import normal_tail_probability
+import numpy as np
+
+from ..core.support import SupportEngine, normal_tail_probability
 from .probabilistic_apriori import ProbabilisticAprioriMiner
 
 __all__ = ["NDUApriori"]
@@ -36,11 +38,13 @@ class NDUApriori(ProbabilisticAprioriMiner):
         use_pruning: bool = False,
         item_prefilter: bool = True,
         track_memory: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         super().__init__(
             use_pruning=use_pruning,
             item_prefilter=item_prefilter,
             track_memory=track_memory,
+            backend=backend,
         )
 
     def _frequent_probability(
@@ -48,3 +52,10 @@ class NDUApriori(ProbabilisticAprioriMiner):
     ) -> float:
         expected, variance = self._moments(probabilities)
         return normal_tail_probability(expected, variance, min_count)
+
+    def _frequent_probabilities_batch(
+        self, engine: SupportEngine, min_count: int
+    ) -> np.ndarray:
+        # The Normal evaluator only needs the two moments, which the engine
+        # already holds as vectorized reductions over the whole level.
+        return engine.normal_frequent_probabilities(min_count)

@@ -18,7 +18,7 @@ the search are then filtered by the Normal test itself.
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Optional
 
 from scipy.stats import norm
 
@@ -36,8 +36,10 @@ class NDUHMine(ProbabilisticMiner):
 
     name = "nduh-mine"
 
-    def __init__(self, track_memory: bool = False) -> None:
-        super().__init__(track_memory=track_memory)
+    def __init__(
+        self, track_memory: bool = False, backend: Optional[str] = None
+    ) -> None:
+        super().__init__(track_memory=track_memory, backend=backend)
 
     @staticmethod
     def _search_threshold(min_count: int, pft: float, n_transactions: int) -> float:
@@ -58,7 +60,9 @@ class NDUHMine(ProbabilisticMiner):
     def _mine(self, database: UncertainDatabase, min_count: int, pft: float) -> MiningResult:
         threshold = self._search_threshold(min_count, pft, len(database))
 
-        engine = UHMine(track_variance=True, track_memory=self.track_memory)
+        engine = UHMine(
+            track_variance=True, track_memory=self.track_memory, backend=self.backend
+        )
         # `threshold` is an absolute expected support (possibly below 1 for
         # tiny min_count); use the internal entry point to avoid the
         # ratio-vs-absolute reinterpretation of the public API.

@@ -12,7 +12,7 @@ cannot report per-itemset frequent probabilities, only membership.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..core.results import FrequentItemset, MiningResult
 from ..core.support import poisson_lambda_for_threshold, poisson_tail_probability
@@ -42,8 +42,9 @@ class PDUApriori(ProbabilisticMiner):
         report_probabilities: bool = False,
         use_decremental_pruning: bool = True,
         track_memory: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
-        super().__init__(track_memory=track_memory)
+        super().__init__(track_memory=track_memory, backend=backend)
         self.report_probabilities = report_probabilities
         self.use_decremental_pruning = use_decremental_pruning
 
@@ -56,6 +57,7 @@ class PDUApriori(ProbabilisticMiner):
             use_decremental_pruning=self.use_decremental_pruning,
             track_variance=False,
             track_memory=self.track_memory,
+            backend=self.backend,
         )
         # The translated threshold is an *absolute* expected support; call the
         # internal entry point so values below 1 are not re-interpreted as a

@@ -13,15 +13,26 @@ the level-wise search they all share:
    support of any subset in every possible world);
 4. an optional Chernoff-bound test discards candidates before the expensive
    exact evaluation (the *B* vs *NB* variants of the paper).
+
+Candidate probability vectors come from a backend-selected
+:class:`~repro.algorithms.common.CandidateSource`; every level is evaluated
+in one batch so subclasses can vectorize their evaluator across candidates
+through the :class:`~repro.core.support.SupportEngine` (the DP recurrence
+advances the whole level at once; the Normal evaluator rides on the
+vectorized moments; divide-and-conquer remains per-candidate but
+NumPy-heavy).
 """
 
 from __future__ import annotations
 
 from abc import abstractmethod
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.itemset import Itemset
 from ..core.results import FrequentItemset, MiningResult
+from ..core.support import SupportEngine
 from ..db.database import UncertainDatabase
 from .base import ProbabilisticMiner
 from .common import (
@@ -29,8 +40,7 @@ from .common import (
     has_infrequent_subset,
     instrumented_run,
     item_statistics,
-    itemset_probability_vector,
-    trim_transactions,
+    make_candidate_source,
 )
 from .pruning import ChernoffPruner
 
@@ -41,7 +51,8 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
     """Level-wise probabilistic frequent itemset miner (abstract).
 
     Subclasses provide :meth:`_frequent_probability`, the evaluator applied
-    to every surviving candidate.
+    to every surviving candidate, and may override
+    :meth:`_frequent_probabilities_batch` with a vectorized variant.
 
     Parameters
     ----------
@@ -54,6 +65,8 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
         probability of such an item is necessarily below ``pft`` by Markov's
         inequality) keeps the scaled-down benchmark runs honest without
         changing results; it can be disabled for strict faithfulness.
+    backend:
+        ``"columnar"`` (default) or ``"rows"``; see :class:`MinerBase`.
     """
 
     #: whether the evaluator returns exact probabilities (drives statistics only)
@@ -64,8 +77,9 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
         use_pruning: bool = True,
         item_prefilter: bool = True,
         track_memory: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
-        super().__init__(track_memory=track_memory)
+        super().__init__(track_memory=track_memory, backend=backend)
         self.use_pruning = use_pruning
         self.item_prefilter = item_prefilter
 
@@ -75,6 +89,23 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
         self, probabilities: Sequence[float], min_count: int
     ) -> float:
         """Return ``Pr[sup(X) >= min_count]`` from the non-zero probability vector."""
+
+    def _frequent_probabilities_batch(
+        self, engine: SupportEngine, min_count: int
+    ) -> np.ndarray:
+        """Evaluate a batch of surviving candidates.
+
+        The default loops over :meth:`_frequent_probability`; subclasses
+        whose evaluator vectorizes across candidates (DP recurrence, Normal
+        moments) override this with one call into the engine.
+        """
+        return np.array(
+            [
+                self._frequent_probability(vector, min_count)
+                for vector in engine.vectors
+            ],
+            dtype=float,
+        )
 
     # -- statistics helpers ---------------------------------------------------------------
     @staticmethod
@@ -93,7 +124,7 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
         with instrumented_run(statistics, self.track_memory):
             records: List[FrequentItemset] = []
 
-            stats_by_item = item_statistics(database)
+            stats_by_item = item_statistics(database, backend=self.backend)
             statistics.database_scans += 1
 
             if self.item_prefilter:
@@ -107,17 +138,17 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
             else:
                 candidate_items = dict(stats_by_item)
 
-            transactions = trim_transactions(database, candidate_items)
+            source = make_candidate_source(database, candidate_items, self.backend)
 
-            current_level: List[Tuple[int, ...]] = []
-            for item in sorted(candidate_items):
-                expected, variance = candidate_items[item]
-                record = self._evaluate_candidate(
-                    transactions, (item,), expected, variance, min_count, pft, pruner, statistics
-                )
-                if record is not None:
-                    records.append(record)
-                    current_level.append((item,))
+            current_level = self._evaluate_level(
+                source,
+                [(item,) for item in sorted(candidate_items)],
+                min_count,
+                pft,
+                pruner,
+                statistics,
+                records,
+            )
 
             while current_level:
                 frequent_keys = set(current_level)
@@ -130,15 +161,9 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
                 if not candidates:
                     break
                 statistics.database_scans += 1
-                next_level: List[Tuple[int, ...]] = []
-                for candidate in candidates:
-                    record = self._evaluate_candidate(
-                        transactions, candidate, None, None, min_count, pft, pruner, statistics
-                    )
-                    if record is not None:
-                        records.append(record)
-                        next_level.append(candidate)
-                current_level = next_level
+                current_level = self._evaluate_level(
+                    source, candidates, min_count, pft, pruner, statistics, records
+                )
 
             statistics.candidates_pruned += pruner.pruned
             statistics.notes["chernoff_tested"] = float(pruner.tested)
@@ -146,31 +171,61 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
 
         return MiningResult(records, statistics)
 
-    def _evaluate_candidate(
+    def _evaluate_level(
         self,
-        transactions: List[Dict[int, float]],
-        candidate: Tuple[int, ...],
-        expected: Optional[float],
-        variance: Optional[float],
+        source,
+        candidates: List[Tuple[int, ...]],
         min_count: int,
         pft: float,
         pruner: ChernoffPruner,
         statistics,
-    ) -> Optional[FrequentItemset]:
-        """Evaluate one candidate; return its record when probabilistic frequent."""
-        probabilities = itemset_probability_vector(transactions, candidate)
-        if expected is None or variance is None:
-            expected, variance = self._moments(probabilities)
+        records: List[FrequentItemset],
+    ) -> List[Tuple[int, ...]]:
+        """Evaluate one level of candidates; return the probabilistic frequent ones.
 
-        # A candidate can never occur min_count times if it occurs (with any
-        # probability) in fewer than min_count transactions.
-        if len(probabilities) < min_count:
-            return None
-        if pruner.can_prune(expected, min_count, pft):
-            return None
+        The cheap filters run first, in the same order as the historical
+        per-candidate path: a candidate occurring (with any probability) in
+        fewer than ``min_count`` transactions can never be frequent, and the
+        Chernoff bound may discard it from its expected support alone.  The
+        survivors are then evaluated in one batch.
+        """
+        if not candidates:
+            return []
+        vectors = source.level_vectors(candidates)
+        engine = SupportEngine(vectors)
+        expected = engine.expected_supports()
+        variance = engine.variances()
+        max_supports = engine.nonzero_counts()
 
-        statistics.exact_evaluations += 1
-        probability = self._frequent_probability(probabilities, min_count)
-        if probability > pft:
-            return FrequentItemset(Itemset(candidate), expected, variance, probability)
-        return None
+        survivors: List[int] = []
+        for index in range(len(candidates)):
+            if max_supports[index] < min_count:
+                continue
+            if pruner.can_prune(float(expected[index]), min_count, pft):
+                continue
+            survivors.append(index)
+        if not survivors:
+            return []
+
+        statistics.exact_evaluations += len(survivors)
+        batch = SupportEngine(
+            [vectors[index] for index in survivors],
+            expected=expected[survivors],
+            variances=variance[survivors],
+        )
+        probabilities = self._frequent_probabilities_batch(batch, min_count)
+
+        next_level: List[Tuple[int, ...]] = []
+        for index, probability in zip(survivors, probabilities):
+            if probability > pft:
+                candidate = candidates[index]
+                records.append(
+                    FrequentItemset(
+                        Itemset(candidate),
+                        float(expected[index]),
+                        float(variance[index]),
+                        float(probability),
+                    )
+                )
+                next_level.append(candidate)
+        return next_level

@@ -41,8 +41,19 @@ class ChernoffPruner:
         """
         if not self.enabled:
             return False
+        return self.register(chernoff_upper_bound(expected_support, min_count), pft)
+
+    def register(self, bound: float, pft: float) -> bool:
+        """Account for one precomputed bound (the batched-evaluation entry point).
+
+        The level-wise miners compute the bounds of a whole candidate level
+        at once through the support engine and feed them here so the
+        tested/pruned accounting matches the per-candidate path exactly.
+        """
+        if not self.enabled:
+            return False
         self.tested += 1
-        self._last_bound = chernoff_upper_bound(expected_support, min_count)
+        self._last_bound = float(bound)
         if self._last_bound <= pft:
             self.pruned += 1
             return True

@@ -18,7 +18,7 @@ the test-suite uses it.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -52,9 +52,20 @@ class WorldSamplingMiner(ProbabilisticMiner):
         Safety margin subtracted from ``pft`` during candidate expansion so
         that borderline itemsets are not lost to sampling noise; the final
         filter still uses the unmodified ``pft``.
+    backend:
+        ``"columnar"`` (default) stores the sampled worlds as per-item
+        boolean membership matrices and counts supports with vectorized
+        AND-reductions; ``"rows"`` keeps the per-world dictionary scan.  The
+        random draws are consumed in the same order on both backends, so
+        the estimates are identical given the seed.
     """
 
     name = "world-sampling"
+
+    #: cap on the dense presence storage (one byte per boolean cell); above
+    #: it the columnar backend falls back to the row-style world dictionaries
+    #: rather than allocating O(items * worlds * transactions) memory
+    max_presence_cells: int = 200_000_000
 
     def __init__(
         self,
@@ -62,8 +73,9 @@ class WorldSamplingMiner(ProbabilisticMiner):
         seed: int = 0,
         slack: float = 0.05,
         track_memory: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
-        super().__init__(track_memory=track_memory)
+        super().__init__(track_memory=track_memory, backend=backend)
         if n_worlds <= 0:
             raise ValueError("n_worlds must be positive")
         if not 0.0 <= slack < 1.0:
@@ -107,12 +119,63 @@ class WorldSamplingMiner(ProbabilisticMiner):
                 worlds[world_index].append(present)
         return worlds
 
+    def _sample_world_matrices(
+        self, transactions: List[Dict[int, float]]
+    ) -> Dict[int, np.ndarray]:
+        """Materialise the sampled worlds as per-item boolean matrices.
+
+        ``result[item][world, row]`` is True when ``item`` was drawn present
+        in transaction ``row`` of world ``world``.  The random draws are made
+        transaction by transaction with the exact call sequence of
+        :meth:`_sample_worlds`, so both representations describe the same
+        worlds for a given seed.
+        """
+        rng = np.random.default_rng(self.seed)
+        n_rows = len(transactions)
+        presence: Dict[int, np.ndarray] = {}
+        for row, units in enumerate(transactions):
+            if not units:
+                continue
+            items = list(units.keys())
+            probabilities = np.array([units[item] for item in items])
+            draws = rng.random((self.n_worlds, len(items))) < probabilities
+            for item_index, item in enumerate(items):
+                matrix = presence.get(item)
+                if matrix is None:
+                    matrix = np.zeros((self.n_worlds, n_rows), dtype=bool)
+                    presence[item] = matrix
+                matrix[:, row] = draws[:, item_index]
+        return presence
+
+    def _estimated_frequent_probability_columnar(
+        self,
+        presence: Dict[int, np.ndarray],
+        candidate: Tuple[int, ...],
+        min_count: int,
+    ) -> float:
+        """Vectorized support counting: AND the item matrices, count rows per world."""
+        contained: Optional[np.ndarray] = None
+        for item in candidate:
+            matrix = presence.get(item)
+            if matrix is None:
+                return 0.0
+            contained = matrix if contained is None else (contained & matrix)
+        if contained is None:
+            return 1.0
+        supports = contained.sum(axis=1)
+        return float(np.count_nonzero(supports >= min_count)) / self.n_worlds
+
     def _estimated_frequent_probability(
         self,
         worlds: List[List[Dict[int, float]]],
         candidate: Tuple[int, ...],
         min_count: int,
     ) -> float:
+        if min_count <= 0:
+            # Every world trivially reaches a zero support threshold; the
+            # counting loop below would miss worlds with no containing
+            # transaction (it only tests after an increment).
+            return 1.0
         hits = 0
         for world in worlds:
             support = 0
@@ -134,7 +197,7 @@ class WorldSamplingMiner(ProbabilisticMiner):
         statistics = self._new_statistics()
         with instrumented_run(statistics, self.track_memory):
             records: List[FrequentItemset] = []
-            stats_by_item = item_statistics(database)
+            stats_by_item = item_statistics(database, backend=self.backend)
             statistics.database_scans += 1
 
             # Markov prefilter, identical to the analytic Apriori miners.
@@ -143,14 +206,35 @@ class WorldSamplingMiner(ProbabilisticMiner):
                 for item, stats in stats_by_item.items()
                 if stats[0] >= min_count * max(pft - self.slack, 0.0)
             }
+            # Both backends draw worlds transaction by transaction (the same
+            # RNG call sequence); they differ only in the world storage and
+            # the support-counting loop.
             transactions = trim_transactions(database, candidate_items)
-            worlds = self._sample_worlds(transactions)
+            presence_cells = (
+                len(candidate_items) * self.n_worlds * len(transactions)
+            )
+            if self.backend == "columnar" and presence_cells <= self.max_presence_cells:
+                presence = self._sample_world_matrices(transactions)
+
+                def estimate(candidate: Tuple[int, ...]) -> float:
+                    return self._estimated_frequent_probability_columnar(
+                        presence, candidate, min_count
+                    )
+
+            else:
+                worlds = self._sample_worlds(transactions)
+
+                def estimate(candidate: Tuple[int, ...]) -> float:
+                    return self._estimated_frequent_probability(
+                        worlds, candidate, min_count
+                    )
+
             statistics.notes["worlds_sampled"] = float(self.n_worlds)
 
             expansion_threshold = max(pft - self.slack, 0.0)
             current_level: List[Tuple[int, ...]] = []
             for item in sorted(candidate_items):
-                probability = self._estimated_frequent_probability(worlds, (item,), min_count)
+                probability = estimate((item,))
                 statistics.exact_evaluations += 1
                 if probability > expansion_threshold:
                     current_level.append((item,))
@@ -172,9 +256,7 @@ class WorldSamplingMiner(ProbabilisticMiner):
                     break
                 next_level: List[Tuple[int, ...]] = []
                 for candidate in candidates:
-                    probability = self._estimated_frequent_probability(
-                        worlds, candidate, min_count
-                    )
+                    probability = estimate(candidate)
                     statistics.exact_evaluations += 1
                     if probability > expansion_threshold:
                         next_level.append(candidate)
@@ -182,8 +264,8 @@ class WorldSamplingMiner(ProbabilisticMiner):
                         records.append(
                             FrequentItemset(
                                 Itemset(candidate),
-                                database.expected_support(candidate),
-                                database.support_variance(candidate),
+                                database.expected_support(candidate, backend=self.backend),
+                                database.support_variance(candidate, backend=self.backend),
                                 probability,
                             )
                         )

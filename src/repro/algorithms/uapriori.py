@@ -6,6 +6,14 @@ and, optionally, by the *decremental* upper-bound check of Chui et al.;
 each surviving candidate's expected support is accumulated in a single scan
 of the (trimmed) database.
 
+With the columnar backend the whole level is evaluated in one batched pass
+through the :class:`~repro.core.support.SupportEngine`: candidate
+probability vectors come from sparse column intersections with shared
+prefix reuse, and the expected supports fall out as vectorized reductions.
+The decremental pruning only exists on the row path — it is an
+early-termination trick for the per-transaction scan that the batched
+evaluation replaces wholesale.
+
 The paper finds UApriori to be the fastest expected-support miner on dense
 datasets with a high ``min_esup`` — the regime where the level-wise search
 space stays small.
@@ -13,10 +21,11 @@ space stays small.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.itemset import Itemset
 from ..core.results import FrequentItemset, MiningResult
+from ..core.support import SupportEngine
 from ..db.database import UncertainDatabase
 from .base import ExpectedSupportMiner
 from .common import (
@@ -24,6 +33,7 @@ from .common import (
     frequent_items_by_expected_support,
     has_infrequent_subset,
     instrumented_run,
+    make_candidate_source,
     trim_transactions,
 )
 
@@ -40,13 +50,17 @@ class UApriori(ExpectedSupportMiner):
         candidate's expected support is being accumulated transaction by
         transaction, the best support it could still reach is the running
         total plus the number of unseen transactions; once that upper bound
-        drops below the threshold the candidate is abandoned early.
+        drops below the threshold the candidate is abandoned early.  Only
+        meaningful on the row backend; the columnar backend evaluates whole
+        levels at once.
     track_variance:
         Also accumulate the support variance of every frequent itemset
         (needed when UApriori serves as the engine of the Normal
         approximation miners).
     track_memory:
         Record peak heap allocation in the result statistics.
+    backend:
+        ``"columnar"`` (default) or ``"rows"``; see :class:`MinerBase`.
     """
 
     name = "uapriori"
@@ -56,12 +70,13 @@ class UApriori(ExpectedSupportMiner):
         use_decremental_pruning: bool = True,
         track_variance: bool = False,
         track_memory: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
-        super().__init__(track_memory=track_memory)
+        super().__init__(track_memory=track_memory, backend=backend)
         self.use_decremental_pruning = use_decremental_pruning
         self.track_variance = track_variance
 
-    # -- internals ---------------------------------------------------------------------
+    # -- row-backend internals ---------------------------------------------------------
     def _candidate_statistics(
         self,
         transactions: List[Dict[int, float]],
@@ -94,13 +109,54 @@ class UApriori(ExpectedSupportMiner):
                 return expected, variance, False
         return expected, variance, expected >= min_expected_support
 
+    def _evaluate_level_rows(
+        self,
+        transactions: List[Dict[int, float]],
+        candidates: List[Tuple[int, ...]],
+        min_expected_support: float,
+    ) -> List[Tuple[Tuple[int, ...], float, Optional[float]]]:
+        """Per-candidate scans with optional decremental early termination."""
+        survivors: List[Tuple[Tuple[int, ...], float, Optional[float]]] = []
+        for candidate in candidates:
+            expected, variance, frequent = self._candidate_statistics(
+                transactions, candidate, min_expected_support
+            )
+            if frequent:
+                survivors.append(
+                    (candidate, expected, variance if self.track_variance else None)
+                )
+        return survivors
+
+    def _evaluate_level_columnar(
+        self,
+        source,
+        candidates: List[Tuple[int, ...]],
+        min_expected_support: float,
+    ) -> List[Tuple[Tuple[int, ...], float, Optional[float]]]:
+        """One batched engine pass over the whole level."""
+        engine = SupportEngine(source.level_vectors(candidates))
+        expected_supports = engine.expected_supports()
+        variances = engine.variances() if self.track_variance else None
+        survivors: List[Tuple[Tuple[int, ...], float, Optional[float]]] = []
+        for index, candidate in enumerate(candidates):
+            expected = float(expected_supports[index])
+            if expected >= min_expected_support:
+                survivors.append(
+                    (
+                        candidate,
+                        expected,
+                        float(variances[index]) if variances is not None else None,
+                    )
+                )
+        return survivors
+
     def _mine(self, database: UncertainDatabase, min_expected_support: float) -> MiningResult:
         statistics = self._new_statistics()
         with instrumented_run(statistics, self.track_memory):
             records: List[FrequentItemset] = []
 
             frequent_items = frequent_items_by_expected_support(
-                database, min_expected_support
+                database, min_expected_support, backend=self.backend
             )
             statistics.database_scans += 1
             for item, (expected, variance) in frequent_items.items():
@@ -112,11 +168,25 @@ class UApriori(ExpectedSupportMiner):
                     )
                 )
 
-            transactions = trim_transactions(database, frequent_items)
-            current_level: Dict[Tuple[int, ...], float] = {
-                (item,): stats[0] for item, stats in frequent_items.items()
-            }
+            if self.backend == "columnar":
+                source = make_candidate_source(database, frequent_items, "columnar")
 
+                def evaluate(candidates):
+                    return self._evaluate_level_columnar(
+                        source, candidates, min_expected_support
+                    )
+
+            else:
+                transactions = trim_transactions(database, frequent_items)
+
+                def evaluate(candidates):
+                    return self._evaluate_level_rows(
+                        transactions, candidates, min_expected_support
+                    )
+
+            current_level: List[Tuple[int, ...]] = [
+                (item,) for item in sorted(frequent_items)
+            ]
             while current_level:
                 frequent_keys = set(current_level)
                 candidates = [
@@ -129,22 +199,12 @@ class UApriori(ExpectedSupportMiner):
                     break
 
                 statistics.database_scans += 1
-                next_level: Dict[Tuple[int, ...], float] = {}
-                for candidate in candidates:
-                    expected, variance, frequent = self._candidate_statistics(
-                        transactions, candidate, min_expected_support
+                survivors = evaluate(candidates)
+                statistics.candidates_pruned += len(candidates) - len(survivors)
+                for candidate, expected, variance in survivors:
+                    records.append(
+                        FrequentItemset(Itemset(candidate), expected, variance)
                     )
-                    if frequent:
-                        next_level[candidate] = expected
-                        records.append(
-                            FrequentItemset(
-                                Itemset(candidate),
-                                expected,
-                                variance if self.track_variance else None,
-                            )
-                        )
-                    else:
-                        statistics.candidates_pruned += 1
-                current_level = next_level
+                current_level = [candidate for candidate, _, _ in survivors]
 
         return MiningResult(records, statistics)

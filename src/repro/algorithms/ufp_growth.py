@@ -151,8 +151,9 @@ class UFPGrowth(ExpectedSupportMiner):
         probability_precision: Optional[int] = None,
         track_variance: bool = False,
         track_memory: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
-        super().__init__(track_memory=track_memory)
+        super().__init__(track_memory=track_memory, backend=backend)
         self.probability_precision = probability_precision
         self.track_variance = track_variance
 
@@ -172,6 +173,17 @@ class UFPGrowth(ExpectedSupportMiner):
             )
         }
         tree = UFPTree(order)
+        if self.backend == "columnar":
+            for units in database.columnar().rows_as_ordered_units(order):
+                if not units:
+                    continue
+                if self.probability_precision is not None:
+                    units = [
+                        (item, self._rounded(probability))
+                        for item, probability in units
+                    ]
+                tree.insert(units)
+            return tree
         for transaction in database:
             units = [
                 (item, self._rounded(probability))
@@ -265,7 +277,7 @@ class UFPGrowth(ExpectedSupportMiner):
         statistics = self._new_statistics()
         with instrumented_run(statistics, self.track_memory):
             frequent_items = frequent_items_by_expected_support(
-                database, min_expected_support
+                database, min_expected_support, backend=self.backend
             )
             statistics.database_scans += 2  # item pass + tree construction pass
             records: List[FrequentItemset] = []

@@ -48,6 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
     mine_parser.add_argument("--min-sup", type=float, default=None, help="minimum support")
     mine_parser.add_argument("--pft", type=float, default=0.9, help="probabilistic frequent threshold")
     mine_parser.add_argument("--limit", type=int, default=20, help="print at most this many itemsets")
+    mine_parser.add_argument(
+        "--backend",
+        choices=["rows", "columnar"],
+        default=None,
+        help="probability-evaluation backend (default: columnar)",
+    )
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="run one of the paper's experiment scenarios"
@@ -60,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("--scale", type=float, default=0.002, help="dataset scale factor")
     experiment_parser.add_argument(
         "--max-points", type=int, default=None, help="truncate each sweep to this many points"
+    )
+    experiment_parser.add_argument(
+        "--backend",
+        choices=["rows", "columnar"],
+        default=None,
+        help="probability-evaluation backend (default: columnar)",
     )
     return parser
 
@@ -84,10 +96,21 @@ def _command_mine(args: argparse.Namespace) -> int:
     info = get_algorithm(args.algorithm)
     if info.family == "expected":
         threshold = args.min_esup if args.min_esup is not None else 0.5
-        result = mine(database, algorithm=args.algorithm, min_esup=threshold)
+        result = mine(
+            database,
+            algorithm=args.algorithm,
+            min_esup=threshold,
+            backend=args.backend,
+        )
     else:
         threshold = args.min_sup if args.min_sup is not None else 0.5
-        result = mine(database, algorithm=args.algorithm, min_sup=threshold, pft=args.pft)
+        result = mine(
+            database,
+            algorithm=args.algorithm,
+            min_sup=threshold,
+            pft=args.pft,
+            backend=args.backend,
+        )
 
     statistics = result.statistics
     print(
@@ -121,10 +144,14 @@ def _command_experiment(args: argparse.Namespace) -> int:
     for spec in specs:
         print(f"== {spec.experiment_id}: {spec.title} ==")
         if spec.experiment_id.startswith("table"):
-            points = runner.run_accuracy_experiment(spec, max_points=args.max_points)
+            points = runner.run_accuracy_experiment(
+                spec, max_points=args.max_points, backend=args.backend
+            )
             print(reporting.format_accuracy_table(points))
         else:
-            points = runner.run_experiment(spec, max_points=args.max_points)
+            points = runner.run_experiment(
+                spec, max_points=args.max_points, backend=args.backend
+            )
             print(reporting.format_sweep_table(points))
         print()
     return 0

@@ -13,11 +13,14 @@ from .results import FrequentItemset, MiningResult, MiningStatistics
 from .rules import AssociationRule, closed_itemsets, derive_rules
 from .support import (
     SupportDistribution,
+    SupportEngine,
     chernoff_upper_bound,
     exact_pmf_divide_conquer,
     exact_pmf_dynamic_programming,
+    frequent_probabilities_dp_batch,
     frequent_probability_dynamic_programming,
     normal_tail_probability,
+    pack_probability_matrix,
     poisson_lambda_for_threshold,
     poisson_tail_probability,
 )
@@ -33,6 +36,7 @@ __all__ = [
     "MiningStatistics",
     "ProbabilisticThreshold",
     "SupportDistribution",
+    "SupportEngine",
     "algorithm_names",
     "algorithms_in_family",
     "chernoff_upper_bound",
@@ -40,7 +44,9 @@ __all__ = [
     "derive_rules",
     "exact_pmf_divide_conquer",
     "exact_pmf_dynamic_programming",
+    "frequent_probabilities_dp_batch",
     "frequent_probability_dynamic_programming",
+    "pack_probability_matrix",
     "get_algorithm",
     "mine",
     "normal_tail_probability",

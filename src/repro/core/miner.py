@@ -50,8 +50,9 @@ def mine(
         algorithms (default 0.9, the paper's default).
     options:
         Extra keyword arguments forwarded to the algorithm constructor
-        (e.g. ``use_pruning=False`` for the exact miners or
-        ``track_memory=True`` for any miner).
+        (e.g. ``use_pruning=False`` for the exact miners,
+        ``track_memory=True`` for any miner, or ``backend="rows"`` /
+        ``backend="columnar"`` to pin the probability-evaluation engine).
 
     Returns
     -------

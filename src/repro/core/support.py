@@ -27,9 +27,12 @@ import numpy as np
 
 __all__ = [
     "SupportDistribution",
+    "SupportEngine",
     "exact_pmf_dynamic_programming",
     "exact_pmf_divide_conquer",
     "frequent_probability_dynamic_programming",
+    "frequent_probabilities_dp_batch",
+    "pack_probability_matrix",
     "poisson_tail_probability",
     "normal_tail_probability",
     "chernoff_upper_bound",
@@ -221,6 +224,195 @@ def poisson_lambda_for_threshold(min_count: int, pft: float) -> float:
         else:
             low = middle
     return high
+
+
+def pack_probability_matrix(vectors: Sequence[Sequence[float]]) -> np.ndarray:
+    """Zero-pad per-candidate probability vectors into one matrix.
+
+    A padded zero is a Bernoulli(0) transaction, the identity of every
+    support-distribution recurrence, so batched evaluations over the padded
+    matrix agree bitwise with per-vector evaluations.
+    """
+    arrays = [np.asarray(vector, dtype=float) for vector in vectors]
+    width = max((len(array) for array in arrays), default=0)
+    matrix = np.zeros((len(arrays), width), dtype=float)
+    for index, array in enumerate(arrays):
+        matrix[index, : len(array)] = array
+    return matrix
+
+
+def frequent_probabilities_dp_batch(
+    matrix: np.ndarray, min_count: int
+) -> np.ndarray:
+    """Batched ``Pr[sup(X) >= min_count]`` via the DP recurrence.
+
+    ``matrix`` holds one (possibly zero-padded) probability vector per row;
+    the classic O(N * min_count) recurrence is advanced over the transaction
+    axis with every candidate updated in one vectorized step, turning the
+    per-candidate Python loop into ``max_len`` NumPy operations shared by
+    the whole level.  Results are bitwise identical to
+    :func:`frequent_probability_dynamic_programming` applied row by row.
+    """
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+    n_candidates, width = matrix.shape
+    min_count = int(min_count)
+    if min_count <= 0:
+        return np.ones(n_candidates, dtype=float)
+    if min_count > width:
+        return np.zeros(n_candidates, dtype=float)
+    # state[c, i] = Pr[at least i occurrences among the transactions seen so far]
+    state = np.zeros((n_candidates, min_count + 1), dtype=float)
+    state[:, 0] = 1.0
+    for j in range(width):
+        p = matrix[:, j : j + 1]
+        state[:, 1:] = state[:, :-1] * p + state[:, 1:] * (1.0 - p)
+    return state[:, min_count].copy()
+
+
+class SupportEngine:
+    """Batched support-distribution queries for one level of candidates.
+
+    The engine is the shared numerical substrate of every miner: it takes
+    the per-candidate probability vectors of a whole Apriori level (one row
+    per candidate, zero-padded to a matrix) and answers every question the
+    eight algorithms ask — expected support, variance, exact DP /
+    divide-and-conquer tails, and the Normal / Poisson / Chernoff
+    approximations — with the expensive paths vectorized across candidates.
+
+    Parameters
+    ----------
+    vectors:
+        One probability vector per candidate.  Compressed (zeros-omitted)
+        vectors are accepted and preferred: padding zeros are identity
+        elements of every computation, and the non-zero count doubles as the
+        maximum attainable support of each candidate.
+    expected, variances:
+        Optional precomputed per-candidate moments.  A caller subsetting an
+        already-evaluated level (the survivor batch of the Apriori miners)
+        passes them to avoid re-deriving the reductions.
+    """
+
+    def __init__(
+        self,
+        vectors: Sequence[Sequence[float]],
+        expected: Optional[Sequence[float]] = None,
+        variances: Optional[Sequence[float]] = None,
+    ) -> None:
+        self._vectors = [np.asarray(vector, dtype=float) for vector in vectors]
+        self._matrix: Optional[np.ndarray] = None
+        self._expected: Optional[np.ndarray] = (
+            np.asarray(expected, dtype=float) if expected is not None else None
+        )
+        self._variance: Optional[np.ndarray] = (
+            np.asarray(variances, dtype=float) if variances is not None else None
+        )
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    @property
+    def vectors(self) -> Sequence[np.ndarray]:
+        return self._vectors
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The zero-padded probability matrix (one row per candidate)."""
+        if self._matrix is None:
+            self._matrix = pack_probability_matrix(self._vectors)
+        return self._matrix
+
+    # -- moments (vectorized) ----------------------------------------------------------
+    def expected_supports(self) -> np.ndarray:
+        """``esup(X)`` of every candidate."""
+        if self._expected is None:
+            self._expected = np.array(
+                [float(vector.sum()) for vector in self._vectors], dtype=float
+            )
+        return self._expected
+
+    def variances(self) -> np.ndarray:
+        """``Var[sup(X)]`` of every candidate."""
+        if self._variance is None:
+            self._variance = np.array(
+                [float((vector * (1.0 - vector)).sum()) for vector in self._vectors],
+                dtype=float,
+            )
+        return self._variance
+
+    def nonzero_counts(self) -> np.ndarray:
+        """Number of transactions that can contain each candidate at all.
+
+        This is the maximum attainable support: candidates whose count falls
+        below ``min_count`` have frequent probability exactly zero, the
+        cheap filter every probabilistic miner applies first.
+        """
+        return np.array(
+            [int(np.count_nonzero(vector)) for vector in self._vectors], dtype=np.int64
+        )
+
+    # -- exact tails -------------------------------------------------------------------
+    def frequent_probabilities(
+        self, min_count: int, method: str = "dynamic_programming"
+    ) -> np.ndarray:
+        """Exact ``Pr[sup(X) >= min_count]`` of every candidate.
+
+        ``"dynamic_programming"`` advances the whole level through the
+        vectorized DP recurrence; ``"divide_conquer"`` assembles each
+        candidate's PMF by FFT convolution (inherently per-candidate, so it
+        loops, but each convolution is NumPy-heavy).
+        """
+        min_count = int(min_count)
+        if method == "dynamic_programming":
+            return frequent_probabilities_dp_batch(self.matrix, min_count)
+        if method == "divide_conquer":
+            results = np.empty(len(self._vectors), dtype=float)
+            for index, vector in enumerate(self._vectors):
+                if min_count <= 0:
+                    results[index] = 1.0
+                elif min_count > len(vector):
+                    results[index] = 0.0
+                else:
+                    tail = float(exact_pmf_divide_conquer(vector)[min_count:].sum())
+                    results[index] = max(0.0, min(1.0, tail))
+            return results
+        raise ValueError(f"unknown method {method!r}")
+
+    # -- approximations ----------------------------------------------------------------
+    # The approximation tails are O(1) per candidate once the moments exist;
+    # the batched win comes from the vectorized moment reductions above.  The
+    # tails themselves deliberately reuse the scalar kernels so the values
+    # stay bitwise identical to the per-candidate path.
+    def normal_frequent_probabilities(self, min_count: int) -> np.ndarray:
+        """Normal approximation (continuity-corrected) of every candidate's tail."""
+        expected = self.expected_supports()
+        variance = self.variances()
+        return np.array(
+            [
+                normal_tail_probability(float(e), float(v), min_count)
+                for e, v in zip(expected, variance)
+            ],
+            dtype=float,
+        )
+
+    def poisson_frequent_probabilities(self, min_count: int) -> np.ndarray:
+        """Poisson approximation of every candidate's tail."""
+        return np.array(
+            [
+                poisson_tail_probability(float(e), min_count)
+                for e in self.expected_supports()
+            ],
+            dtype=float,
+        )
+
+    def chernoff_bounds(self, min_count: int) -> np.ndarray:
+        """Chernoff upper bound on every candidate's frequent probability."""
+        return np.array(
+            [
+                chernoff_upper_bound(float(e), min_count)
+                for e in self.expected_supports()
+            ],
+            dtype=float,
+        )
 
 
 class SupportDistribution:

@@ -7,7 +7,8 @@ validation.
 """
 
 from .builder import DatabaseBuilder, paper_example_database
-from .database import DatabaseStats, UncertainDatabase
+from .columnar import ColumnarView
+from .database import BACKENDS, DatabaseStats, UncertainDatabase, resolve_backend
 from .io import read_fimi, read_uncertain, write_fimi, write_uncertain
 from .sampling import (
     enumerate_worlds,
@@ -21,6 +22,8 @@ from .validation import ValidationIssue, ValidationReport, validate_database
 from .vocabulary import Vocabulary
 
 __all__ = [
+    "BACKENDS",
+    "ColumnarView",
     "DatabaseBuilder",
     "DatabaseStats",
     "UncertainDatabase",
@@ -33,6 +36,7 @@ __all__ = [
     "paper_example_database",
     "read_fimi",
     "read_uncertain",
+    "resolve_backend",
     "sample_world",
     "sample_worlds",
     "validate_database",

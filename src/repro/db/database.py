@@ -14,10 +14,23 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .columnar import ColumnarView
 from .transaction import UncertainTransaction
 from .vocabulary import Vocabulary
 
-__all__ = ["UncertainDatabase", "DatabaseStats"]
+__all__ = ["UncertainDatabase", "DatabaseStats", "BACKENDS", "resolve_backend"]
+
+#: the two probability-evaluation backends of the database
+BACKENDS = ("rows", "columnar")
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Validate a backend name, resolving ``None`` to the default backend."""
+    if backend is None:
+        return UncertainDatabase.default_backend
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    return backend
 
 
 class DatabaseStats:
@@ -62,7 +75,15 @@ class UncertainDatabase:
     name:
         Optional human-readable name (used by the evaluation harness when
         reporting results).
+
+    Probability queries accept a ``backend`` argument: ``"rows"`` walks the
+    transaction objects (the original pure-Python path, kept as the
+    correctness oracle), ``"columnar"`` (the default) evaluates through the
+    lazily built, cached :class:`~repro.db.columnar.ColumnarView`.
     """
+
+    #: backend used when a probability query passes ``backend=None``
+    default_backend: str = "columnar"
 
     def __init__(
         self,
@@ -76,6 +97,7 @@ class UncertainDatabase:
             raise ValueError("transaction identifiers must be unique")
         self.vocabulary = vocabulary
         self.name = name
+        self._columnar: Optional[ColumnarView] = None
 
     # -- container protocol ---------------------------------------------------------
     def __len__(self) -> int:
@@ -113,7 +135,15 @@ class UncertainDatabase:
         return DatabaseStats(n, n_items, average_length, density, average_probability)
 
     # -- probability primitives -----------------------------------------------------
-    def itemset_probabilities(self, itemset: Iterable[int]) -> np.ndarray:
+    def columnar(self) -> ColumnarView:
+        """The columnar projection of this database, built lazily and cached."""
+        if self._columnar is None:
+            self._columnar = ColumnarView(self)
+        return self._columnar
+
+    def itemset_probabilities(
+        self, itemset: Iterable[int], backend: Optional[str] = None
+    ) -> np.ndarray:
         """Return the vector ``p_i(X)`` of per-transaction probabilities of ``itemset``.
 
         Transactions where the itemset cannot occur contribute zero.  This is
@@ -121,28 +151,64 @@ class UncertainDatabase:
         exact Poisson-Binomial support distribution.
         """
         itemset = tuple(itemset)
+        if resolve_backend(backend) == "columnar":
+            return self.columnar().itemset_probabilities(itemset)
         return np.array(
             [t.itemset_probability(itemset) for t in self._transactions], dtype=float
         )
 
-    def item_probabilities(self, item: int) -> np.ndarray:
+    def itemset_probabilities_batch(
+        self,
+        candidates: Sequence[Tuple[int, ...]],
+        backend: Optional[str] = None,
+    ) -> np.ndarray:
+        """Dense probability matrix of a whole candidate level (one row each).
+
+        With the columnar backend, candidates sharing a ``k - 1``-prefix (as
+        every Apriori join output does) reuse the prefix intersection.
+        """
+        if resolve_backend(backend) == "columnar":
+            return self.columnar().batch_probabilities(candidates)
+        return np.array(
+            [
+                [t.itemset_probability(tuple(candidate)) for t in self._transactions]
+                for candidate in candidates
+            ],
+            dtype=float,
+        ).reshape(len(candidates), len(self._transactions))
+
+    def item_probabilities(
+        self, item: int, backend: Optional[str] = None
+    ) -> np.ndarray:
         """Return the per-transaction probability vector of a single item."""
+        if resolve_backend(backend) == "columnar":
+            return self.columnar().item_probabilities(item)
         return np.array(
             [t.probability(item) for t in self._transactions], dtype=float
         )
 
-    def expected_support(self, itemset: Iterable[int]) -> float:
+    def expected_support(
+        self, itemset: Iterable[int], backend: Optional[str] = None
+    ) -> float:
         """Return ``esup(X) = sum_i p_i(X)`` (Definition 1 of the paper)."""
-        return float(self.itemset_probabilities(itemset).sum())
+        itemset = tuple(itemset)
+        if resolve_backend(backend) == "columnar":
+            return self.columnar().expected_support(itemset)
+        return float(self.itemset_probabilities(itemset, backend="rows").sum())
 
-    def support_variance(self, itemset: Iterable[int]) -> float:
+    def support_variance(
+        self, itemset: Iterable[int], backend: Optional[str] = None
+    ) -> float:
         """Return ``Var[sup(X)] = sum_i p_i(X)(1 - p_i(X))``.
 
         The support is a sum of independent Bernoulli variables (one per
         transaction), hence its variance is the sum of the per-transaction
         Bernoulli variances.
         """
-        probabilities = self.itemset_probabilities(itemset)
+        itemset = tuple(itemset)
+        if resolve_backend(backend) == "columnar":
+            return self.columnar().support_variance(itemset)
+        probabilities = self.itemset_probabilities(itemset, backend="rows")
         return float((probabilities * (1.0 - probabilities)).sum())
 
     # -- transformations ------------------------------------------------------------

@@ -16,7 +16,7 @@ from ..core.miner import mine
 from ..core.registry import get_algorithm
 from ..core.results import MiningResult
 from ..datasets.registry import load_dataset
-from ..db.database import UncertainDatabase
+from ..db.database import UncertainDatabase, resolve_backend
 from .metrics import compare_results
 from .scenarios import ExperimentSpec
 
@@ -100,24 +100,40 @@ def _mine_point(
     algorithm: str,
     thresholds: Dict[str, float],
     track_memory: bool,
+    backend: Optional[str] = None,
 ) -> MiningResult:
     info = get_algorithm(algorithm)
+    if resolve_backend(backend) == "columnar":
+        # Warm the shared columnar view outside the instrumented run so its
+        # one-time build cost is not charged to whichever algorithm happens
+        # to mine the database first (the sweep compares algorithms).
+        database.columnar()
     kwargs: Dict[str, float] = {}
     if info.family == "expected":
         kwargs["min_esup"] = thresholds.get("min_esup", thresholds.get("min_sup", 0.5))
     else:
         kwargs["min_sup"] = thresholds.get("min_sup", thresholds.get("min_esup", 0.5))
         kwargs["pft"] = thresholds.get("pft", 0.9)
-    return mine(database, algorithm=algorithm, track_memory=track_memory, **kwargs)
+    return mine(
+        database,
+        algorithm=algorithm,
+        track_memory=track_memory,
+        backend=backend,
+        **kwargs,
+    )
 
 
 def run_experiment(
-    spec: ExperimentSpec, max_points: Optional[int] = None
+    spec: ExperimentSpec,
+    max_points: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[SweepPoint]:
     """Run the full sweep of ``spec`` and return one row per (algorithm, value).
 
     ``max_points`` truncates the sweep (used by the smoke tests and by
-    benchmark quick modes).
+    benchmark quick modes).  ``backend`` selects the probability-evaluation
+    engine for every mined point (``"rows"`` / ``"columnar"``; ``None``
+    uses the database default, columnar).
     """
     values = list(spec.values)
     if max_points is not None:
@@ -132,7 +148,9 @@ def run_experiment(
         database = shared_database or _build_dataset(spec, value)
         thresholds = _thresholds_for(spec, value)
         for algorithm in spec.algorithms:
-            result = _mine_point(database, algorithm, thresholds, spec.track_memory)
+            result = _mine_point(
+                database, algorithm, thresholds, spec.track_memory, backend
+            )
             points.append(
                 SweepPoint(
                     experiment_id=spec.experiment_id,
@@ -152,6 +170,7 @@ def run_accuracy_experiment(
     spec: ExperimentSpec,
     reference_algorithm: str = "dcb",
     max_points: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[AccuracyPoint]:
     """Run an accuracy sweep (Tables 8/9): approximate miners vs an exact reference."""
     values = list(spec.values)
@@ -166,9 +185,9 @@ def run_accuracy_experiment(
     for value in values:
         database = shared_database or _build_dataset(spec, value)
         thresholds = _thresholds_for(spec, value)
-        exact = _mine_point(database, reference_algorithm, thresholds, False)
+        exact = _mine_point(database, reference_algorithm, thresholds, False, backend)
         for algorithm in spec.algorithms:
-            approximate = _mine_point(database, algorithm, thresholds, False)
+            approximate = _mine_point(database, algorithm, thresholds, False, backend)
             report = compare_results(approximate, exact)
             points.append(
                 AccuracyPoint(

@@ -1,13 +1,18 @@
-"""Shared fixtures for the test-suite."""
+"""Shared fixtures for the test-suite.
+
+Plain helper functions live in :mod:`tests.helpers` (imported explicitly by
+the test modules that need them) so that this conftest never has to be an
+import target — ``import conftest`` is ambiguous whenever another conftest
+(e.g. the benchmark harness's) is also on ``sys.path``.
+"""
 
 from __future__ import annotations
-
-import random
-from typing import Dict, List
 
 import pytest
 
 from repro.db import DatabaseBuilder, UncertainDatabase, paper_example_database
+
+from helpers import make_random_database
 
 
 @pytest.fixture
@@ -24,25 +29,6 @@ def tiny_db() -> UncertainDatabase:
     builder.add_transaction([(0, 1.0), (2, 0.4)])
     builder.add_transaction([(1, 0.3), (2, 0.8)])
     return builder.build()
-
-
-def make_random_database(
-    n_transactions: int = 30,
-    n_items: int = 8,
-    density: float = 0.4,
-    seed: int = 0,
-    name: str = "random",
-) -> UncertainDatabase:
-    """Build a reproducible random uncertain database for consistency tests."""
-    rng = random.Random(seed)
-    records: List[Dict[int, float]] = []
-    for _ in range(n_transactions):
-        units: Dict[int, float] = {}
-        for item in range(n_items):
-            if rng.random() < density:
-                units[item] = round(rng.uniform(0.05, 1.0), 3)
-        records.append(units)
-    return UncertainDatabase.from_records(records, name=name)
 
 
 @pytest.fixture

@@ -6,7 +6,7 @@ from repro.algorithms import DCMiner, DPMiner, ExhaustiveProbabilisticMiner
 from repro.algorithms.pruning import ChernoffPruner
 from repro.core import SupportDistribution
 
-from conftest import make_random_database
+from helpers import make_random_database
 
 
 ALL_CONFIGS = [

@@ -5,7 +5,7 @@ import pytest
 from repro.algorithms import DCMiner, WorldSamplingMiner
 from repro.eval import compare_results
 
-from conftest import make_random_database
+from helpers import make_random_database
 
 
 class TestConstruction:

@@ -6,7 +6,7 @@ from repro.algorithms import UApriori, UFPGrowth
 from repro.algorithms.ufp_growth import UFPTree
 from repro.core import Itemset
 
-from conftest import make_random_database
+from helpers import make_random_database
 
 
 class TestUFPTree:

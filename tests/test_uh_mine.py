@@ -5,7 +5,7 @@ import pytest
 from repro.algorithms import UApriori, UHMine, build_uh_struct
 from repro.algorithms.common import frequent_items_by_expected_support
 
-from conftest import make_random_database
+from helpers import make_random_database
 
 
 class TestUHStruct:
