@@ -1,0 +1,199 @@
+"""Partition-parallel scaling: speedup vs worker count on dense data.
+
+The workload is the paper's dominant cost at scale — the exact DP tail
+evaluation of a full Apriori level over a dense N >= 2000 database — plus a
+complete DPNB mine, both repeated at increasing worker counts with one row
+shard per worker.  Every configuration is checked to return byte-identical
+probabilities/itemsets before its timing is reported (parallelism is not
+allowed to buy speed with drift).
+
+Measured quantities land in ``benchmarks/results/bench_parallel_scaling.csv``:
+
+* ``level_seconds_w{K}`` / ``level_speedup_w{K}`` — one exact-DP level
+  evaluation through a ``K``-worker executor, relative to ``K = 1``;
+* ``mine_seconds_w{K}`` / ``mine_speedup_w{K}`` — a full ``dpnb`` mine
+  (no Chernoff pruning, so the exact DP dominates the run) with
+  ``workers = shards = K``.
+
+Speedup is asserted only up to the machine's usable core count (a 4-worker
+pool cannot beat serial on a 1-core container); the worker counts exercised
+default to 1/2/4 and can be trimmed with ``REPRO_BENCH_MAX_WORKERS`` (the
+CI docs job smokes the benchmark with 2 workers).
+
+Run with ``pytest benchmarks/bench_parallel_scaling.py -s`` or directly as
+a script.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.algorithms.common import apriori_join, frequent_items_by_expected_support
+from repro.core.miner import mine
+from repro.core.parallel import ParallelExecutor
+from repro.core.support import SupportEngine
+from repro.eval import reporting
+
+from bench_backend_columnar import make_dense_database
+from conftest import RESULTS_DIR, emit
+
+#: probabilistic threshold of the timed workload (dense regime of Figure 5)
+MIN_SUP_RATIO = 0.15
+PFT = 0.9
+
+#: worker counts exercised; trimmed by REPRO_BENCH_MAX_WORKERS when set
+WORKER_COUNTS = [1, 2, 4]
+_MAX_WORKERS_ENV = os.environ.get("REPRO_BENCH_MAX_WORKERS", "").strip()
+if _MAX_WORKERS_ENV:
+    WORKER_COUNTS = [w for w in WORKER_COUNTS if w <= int(_MAX_WORKERS_ENV)] or [1]
+
+#: minimum speedup demanded of the largest worker count the hardware can
+#: actually run concurrently (kept modest: CI machines are small and noisy)
+SPEEDUP_FLOOR = 1.1
+
+#: set REPRO_BENCH_REQUIRE_SPEEDUP=0 to report timings without gating on
+#: them (used by the CI smoke run, where shared runners make wall-clock
+#: ratios unreliable; byte-identity is always asserted regardless)
+REQUIRE_SPEEDUP = os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP", "1").strip() != "0"
+
+
+def _usable_cores() -> int:
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def _level_workload(database):
+    """The exact-DP inputs of one full level-2 evaluation."""
+    min_count = int(MIN_SUP_RATIO * len(database))
+    frequent = sorted(
+        frequent_items_by_expected_support(database, min_count * PFT)
+    )
+    candidates = apriori_join([(item,) for item in frequent])
+    vectors = database.columnar().batch_vectors(candidates)
+    return vectors, min_count
+
+
+def _time_level(vectors, min_count: int, workers: int, repeats: int = 3):
+    """Best-of-``repeats`` timing of one chunked DP level evaluation."""
+    best = float("inf")
+    tails = None
+    with ParallelExecutor(workers=workers) as executor:
+        engine = SupportEngine(vectors, executor=executor if workers > 1 else None)
+        for _ in range(repeats):
+            started = time.perf_counter()
+            current = engine.frequent_probabilities(min_count)
+            best = min(best, time.perf_counter() - started)
+            tails = current
+    return best, tails
+
+
+def run_benchmark() -> Dict[str, float]:
+    database = make_dense_database()
+    vectors, min_count = _level_workload(database)
+
+    measurements: Dict[str, float] = {
+        "n_transactions": float(len(database)),
+        "n_candidates": float(len(vectors)),
+        "min_count": float(min_count),
+        "usable_cores": float(_usable_cores()),
+    }
+
+    reference_tails = None
+    reference_level_seconds = None
+    for workers in WORKER_COUNTS:
+        seconds, tails = _time_level(vectors, min_count, workers)
+        if reference_tails is None:
+            reference_tails, reference_level_seconds = tails, seconds
+        else:
+            assert np.array_equal(tails, reference_tails), (
+                f"{workers}-worker DP tails drifted from serial"
+            )
+        measurements[f"level_seconds_w{workers}"] = seconds
+        measurements[f"level_speedup_w{workers}"] = reference_level_seconds / seconds
+
+    reference_result = None
+    reference_mine_seconds = None
+    for workers in WORKER_COUNTS:
+        result = mine(
+            database,
+            algorithm="dpnb",
+            min_sup=MIN_SUP_RATIO,
+            pft=PFT,
+            workers=workers,
+            shards=workers,
+        )
+        seconds = result.statistics.elapsed_seconds
+        if reference_result is None:
+            reference_result, reference_mine_seconds = result, seconds
+        else:
+            assert result.itemset_keys() == reference_result.itemset_keys()
+            for record in result:
+                reference = reference_result[record.itemset]
+                assert record.frequent_probability == reference.frequent_probability
+        measurements[f"mine_seconds_w{workers}"] = seconds
+        measurements[f"mine_speedup_w{workers}"] = reference_mine_seconds / seconds
+
+    return measurements
+
+
+class _Point:
+    """Minimal row shim for the shared CSV writer."""
+
+    def __init__(self, payload: Dict[str, float]) -> None:
+        self._payload = payload
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self._payload)
+
+
+def _report(measurements: Dict[str, float]) -> None:
+    rows: List[Dict[str, float]] = [
+        {"measure": key, "value": value} for key, value in measurements.items()
+    ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    reporting.write_csv(
+        [_Point(row) for row in rows], RESULTS_DIR / "bench_parallel_scaling.csv"
+    )
+    emit(
+        "Partition-parallel scaling (DP level + full dpnb mine)",
+        reporting.format_table(rows, ["measure", "value"]),
+    )
+
+
+def _assert_speedup(measurements: Dict[str, float]) -> None:
+    """Demand speedup from the largest worker count the hardware can run."""
+    cores = _usable_cores()
+    runnable = [w for w in WORKER_COUNTS if 1 < w <= cores]
+    if not REQUIRE_SPEEDUP:
+        print("(speedup assertion disabled via REPRO_BENCH_REQUIRE_SPEEDUP=0)")
+        return
+    if not runnable:
+        print(
+            f"(speedup assertion skipped: {cores} usable core(s) cannot "
+            "outrun the serial baseline)"
+        )
+        return
+    target = max(runnable)
+    speedup = measurements[f"level_speedup_w{target}"]
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"{target}-worker level evaluation speedup {speedup:.2f}x "
+        f"below floor {SPEEDUP_FLOOR}x: {measurements}"
+    )
+
+
+def test_parallel_scaling_speedup():
+    measurements = run_benchmark()
+    _report(measurements)
+    _assert_speedup(measurements)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    measurements = run_benchmark()
+    _report(measurements)
+    _assert_speedup(measurements)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Optional
 
+from ..core.parallel import ParallelExecutor, resolve_shards, resolve_workers
 from ..core.results import MiningResult, MiningStatistics
 from ..core.thresholds import ExpectedSupportThreshold, ProbabilisticThreshold
 from ..db.database import UncertainDatabase, resolve_backend
@@ -31,26 +32,61 @@ class MinerBase(ABC):
     track_memory:
         When True the run records its peak Python-heap allocation in the
         result statistics (used by the memory-cost experiments).
+        ``tracemalloc`` observes the coordinator process only: with
+        ``workers > 1`` the allocations made inside pool workers (chunked DP
+        matrices, per-shard vectors) are not counted, so memory experiments
+        should be run with the default single-process configuration.
     backend:
         Probability-evaluation backend: ``"columnar"`` (vectorized batched
         evaluation through the database's columnar view) or ``"rows"`` (the
         original per-transaction Python loops, kept as the correctness
         oracle).  ``None`` resolves to the database default (columnar).
+    workers:
+        Worker-process count for the partition-parallel engine.  ``None``
+        consults ``REPRO_WORKERS`` (default 1); ``0`` means one worker per
+        available CPU.  Results are byte-identical for every worker count.
+    shards:
+        Row-shard count for the columnar view.  ``None`` consults
+        ``REPRO_SHARDS`` and falls back to the worker count, so raising
+        ``workers`` automatically engages the partitioned path.  Only
+        meaningful on the columnar backend (the row oracle stays serial).
     """
 
     #: Registry name; subclasses override.
     name: str = "base"
 
     def __init__(
-        self, track_memory: bool = False, backend: Optional[str] = None
+        self,
+        track_memory: bool = False,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> None:
         self.track_memory = track_memory
         self.backend = resolve_backend(backend)
+        self.workers = resolve_workers(workers)
+        self.shards = resolve_shards(shards, self.workers)
 
     def _new_statistics(self) -> MiningStatistics:
         statistics = MiningStatistics(algorithm=self.name)
         statistics.notes["backend"] = float(self.backend == "columnar")
+        statistics.notes["workers"] = float(self.workers)
+        statistics.notes["shards"] = float(self.shards)
         return statistics
+
+    def _open_executor(self, database: UncertainDatabase) -> ParallelExecutor:
+        """Build this run's executor, sharding the database when requested.
+
+        Shard views are attached only on the columnar backend with
+        ``shards > 1``; otherwise the executor still distributes candidate
+        chunks (the exact tails) when ``workers > 1``.  Callers must
+        ``close()`` the executor (or use it as a context manager) so worker
+        pools never outlive the run.
+        """
+        shard_views = None
+        if self.backend == "columnar" and self.shards > 1 and len(database) > 0:
+            shard_views = database.partition(self.shards).shards
+        return ParallelExecutor(self.workers, shard_views=shard_views)
 
 
 class ExpectedSupportMiner(MinerBase):

@@ -45,8 +45,14 @@ class ExhaustiveExpectedSupportMiner(ExpectedSupportMiner):
         max_size: int = 6,
         track_memory: bool = False,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> None:
-        super().__init__(track_memory=track_memory, backend=backend)
+        # workers/shards are accepted for interface uniformity; the
+        # references deliberately stay single-process and per-candidate.
+        super().__init__(
+            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+        )
         self.max_size = max_size
 
     def _mine(self, database: UncertainDatabase, min_expected_support: float) -> MiningResult:
@@ -83,8 +89,12 @@ class ExhaustiveProbabilisticMiner(ProbabilisticMiner):
         max_size: int = 6,
         track_memory: bool = False,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> None:
-        super().__init__(track_memory=track_memory, backend=backend)
+        super().__init__(
+            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+        )
         self.max_size = max_size
 
     def _mine(self, database: UncertainDatabase, min_count: int, pft: float) -> MiningResult:

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..core.parallel import ParallelExecutor
 from ..core.results import MiningStatistics
 from ..db.columnar import ColumnarView
 from ..db.database import UncertainDatabase, resolve_backend
@@ -35,6 +36,7 @@ __all__ = [
     "CandidateSource",
     "RowCandidateSource",
     "ColumnarCandidateSource",
+    "PartitionedCandidateSource",
     "make_candidate_source",
 ]
 
@@ -222,17 +224,40 @@ class ColumnarCandidateSource(CandidateSource):
         return self.view.batch_vectors(candidates)
 
 
+class PartitionedCandidateSource(CandidateSource):
+    """Shard-parallel evaluation through a partition-carrying executor.
+
+    Every shard evaluates the whole level over its own row range (in a
+    worker process when the executor is parallel); the per-shard compressed
+    vectors are concatenated in shard order, which is bitwise identical to
+    the single-view evaluation.
+    """
+
+    backend = "columnar"
+
+    def __init__(self, executor: ParallelExecutor) -> None:
+        self.executor = executor
+
+    def level_vectors(self, candidates: Sequence[Tuple[int, ...]]) -> List[np.ndarray]:
+        return self.executor.shard_vectors(candidates)
+
+
 def make_candidate_source(
     database: UncertainDatabase,
     frequent_items: Iterable[int],
     backend: Optional[str] = None,
+    executor: Optional[ParallelExecutor] = None,
 ) -> CandidateSource:
     """Build the candidate source for a run.
 
     The row source materialises the trimmed projection once (the classic
     optimisation); the columnar source needs no trimming because only the
-    columns of frequent items are ever queried.
+    columns of frequent items are ever queried.  When ``executor`` carries
+    row shards the columnar evaluation is fanned out per shard instead
+    (:class:`PartitionedCandidateSource`) — same results, bit for bit.
     """
     if resolve_backend(backend) == "columnar":
+        if executor is not None and executor.n_shards > 1:
+            return PartitionedCandidateSource(executor)
         return ColumnarCandidateSource(database.columnar())
     return RowCandidateSource(trim_transactions(database, frequent_items))

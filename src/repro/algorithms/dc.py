@@ -44,12 +44,16 @@ class DCMiner(ProbabilisticAprioriMiner):
         item_prefilter: bool = True,
         track_memory: bool = False,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> None:
         super().__init__(
             use_pruning=use_pruning,
             item_prefilter=item_prefilter,
             track_memory=track_memory,
             backend=backend,
+            workers=workers,
+            shards=shards,
         )
         self.use_fft = use_fft
         self.name = "dcb" if use_pruning else "dcnb"

@@ -39,12 +39,16 @@ class NDUApriori(ProbabilisticAprioriMiner):
         item_prefilter: bool = True,
         track_memory: bool = False,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> None:
         super().__init__(
             use_pruning=use_pruning,
             item_prefilter=item_prefilter,
             track_memory=track_memory,
             backend=backend,
+            workers=workers,
+            shards=shards,
         )
 
     def _frequent_probability(

@@ -37,9 +37,15 @@ class NDUHMine(ProbabilisticMiner):
     name = "nduh-mine"
 
     def __init__(
-        self, track_memory: bool = False, backend: Optional[str] = None
+        self,
+        track_memory: bool = False,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> None:
-        super().__init__(track_memory=track_memory, backend=backend)
+        super().__init__(
+            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+        )
 
     @staticmethod
     def _search_threshold(min_count: int, pft: float, n_transactions: int) -> float:
@@ -61,7 +67,11 @@ class NDUHMine(ProbabilisticMiner):
         threshold = self._search_threshold(min_count, pft, len(database))
 
         engine = UHMine(
-            track_variance=True, track_memory=self.track_memory, backend=self.backend
+            track_variance=True,
+            track_memory=self.track_memory,
+            backend=self.backend,
+            workers=self.workers,
+            shards=self.shards,
         )
         # `threshold` is an absolute expected support (possibly below 1 for
         # tiny min_count); use the internal entry point to avoid the

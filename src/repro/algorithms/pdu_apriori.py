@@ -43,8 +43,12 @@ class PDUApriori(ProbabilisticMiner):
         use_decremental_pruning: bool = True,
         track_memory: bool = False,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> None:
-        super().__init__(track_memory=track_memory, backend=backend)
+        super().__init__(
+            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+        )
         self.report_probabilities = report_probabilities
         self.use_decremental_pruning = use_decremental_pruning
 
@@ -58,6 +62,8 @@ class PDUApriori(ProbabilisticMiner):
             track_variance=False,
             track_memory=self.track_memory,
             backend=self.backend,
+            workers=self.workers,
+            shards=self.shards,
         )
         # The translated threshold is an *absolute* expected support; call the
         # internal entry point so values below 1 are not re-interpreted as a

@@ -67,6 +67,10 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
         changing results; it can be disabled for strict faithfulness.
     backend:
         ``"columnar"`` (default) or ``"rows"``; see :class:`MinerBase`.
+    workers, shards:
+        Partition-parallel knobs; see :class:`MinerBase`.  Shards evaluate
+        the level's probability vectors in parallel; workers additionally
+        split the exact tail evaluation into candidate chunks.
     """
 
     #: whether the evaluator returns exact probabilities (drives statistics only)
@@ -78,8 +82,12 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
         item_prefilter: bool = True,
         track_memory: bool = False,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> None:
-        super().__init__(track_memory=track_memory, backend=backend)
+        super().__init__(
+            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+        )
         self.use_pruning = use_pruning
         self.item_prefilter = item_prefilter
 
@@ -121,9 +129,15 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
     def _mine(self, database: UncertainDatabase, min_count: int, pft: float) -> MiningResult:
         statistics = self._new_statistics()
         pruner = ChernoffPruner(enabled=self.use_pruning)
-        with instrumented_run(statistics, self.track_memory):
+        with instrumented_run(statistics, self.track_memory), self._open_executor(
+            database
+        ) as executor:
             records: List[FrequentItemset] = []
 
+            # Item statistics always come from the unpartitioned view: the
+            # full-column reductions are cheap, and reusing them keeps the
+            # frequent-1-item decisions byte-identical for every (workers,
+            # shards) configuration.
             stats_by_item = item_statistics(database, backend=self.backend)
             statistics.database_scans += 1
 
@@ -138,7 +152,9 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
             else:
                 candidate_items = dict(stats_by_item)
 
-            source = make_candidate_source(database, candidate_items, self.backend)
+            source = make_candidate_source(
+                database, candidate_items, self.backend, executor=executor
+            )
 
             current_level = self._evaluate_level(
                 source,
@@ -148,6 +164,7 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
                 pruner,
                 statistics,
                 records,
+                executor,
             )
 
             while current_level:
@@ -162,7 +179,14 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
                     break
                 statistics.database_scans += 1
                 current_level = self._evaluate_level(
-                    source, candidates, min_count, pft, pruner, statistics, records
+                    source,
+                    candidates,
+                    min_count,
+                    pft,
+                    pruner,
+                    statistics,
+                    records,
+                    executor,
                 )
 
             statistics.candidates_pruned += pruner.pruned
@@ -180,6 +204,7 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
         pruner: ChernoffPruner,
         statistics,
         records: List[FrequentItemset],
+        executor=None,
     ) -> List[Tuple[int, ...]]:
         """Evaluate one level of candidates; return the probabilistic frequent ones.
 
@@ -212,6 +237,7 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
             [vectors[index] for index in survivors],
             expected=expected[survivors],
             variances=variance[survivors],
+            executor=executor,
         )
         probabilities = self._frequent_probabilities_batch(batch, min_count)
 

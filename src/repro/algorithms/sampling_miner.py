@@ -74,8 +74,15 @@ class WorldSamplingMiner(ProbabilisticMiner):
         slack: float = 0.05,
         track_memory: bool = False,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> None:
-        super().__init__(track_memory=track_memory, backend=backend)
+        # workers/shards are accepted for interface uniformity; the sampler
+        # stays serial because its single random stream is part of the
+        # deterministic contract (identical estimates for a given seed).
+        super().__init__(
+            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+        )
         if n_worlds <= 0:
             raise ValueError("n_worlds must be positive")
         if not 0.0 <= slack < 1.0:

@@ -71,8 +71,12 @@ class UApriori(ExpectedSupportMiner):
         track_variance: bool = False,
         track_memory: bool = False,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> None:
-        super().__init__(track_memory=track_memory, backend=backend)
+        super().__init__(
+            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+        )
         self.use_decremental_pruning = use_decremental_pruning
         self.track_variance = track_variance
 
@@ -152,7 +156,9 @@ class UApriori(ExpectedSupportMiner):
 
     def _mine(self, database: UncertainDatabase, min_expected_support: float) -> MiningResult:
         statistics = self._new_statistics()
-        with instrumented_run(statistics, self.track_memory):
+        with instrumented_run(statistics, self.track_memory), self._open_executor(
+            database
+        ) as executor:
             records: List[FrequentItemset] = []
 
             frequent_items = frequent_items_by_expected_support(
@@ -169,7 +175,9 @@ class UApriori(ExpectedSupportMiner):
                 )
 
             if self.backend == "columnar":
-                source = make_candidate_source(database, frequent_items, "columnar")
+                source = make_candidate_source(
+                    database, frequent_items, "columnar", executor=executor
+                )
 
                 def evaluate(candidates):
                     return self._evaluate_level_columnar(

@@ -152,8 +152,12 @@ class UFPGrowth(ExpectedSupportMiner):
         track_variance: bool = False,
         track_memory: bool = False,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> None:
-        super().__init__(track_memory=track_memory, backend=backend)
+        super().__init__(
+            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+        )
         self.probability_precision = probability_precision
         self.track_variance = track_variance
 
@@ -164,7 +168,10 @@ class UFPGrowth(ExpectedSupportMiner):
         return round(probability, self.probability_precision)
 
     def _build_global_tree(
-        self, database: UncertainDatabase, frequent_items: Dict[int, Tuple[float, float]]
+        self,
+        database: UncertainDatabase,
+        frequent_items: Dict[int, Tuple[float, float]],
+        executor=None,
     ) -> UFPTree:
         order = {
             item: rank
@@ -174,7 +181,22 @@ class UFPGrowth(ExpectedSupportMiner):
         }
         tree = UFPTree(order)
         if self.backend == "columnar":
-            for units in database.columnar().rows_as_ordered_units(order):
+            # Shard-parallel projection: each shard returns its rows'
+            # rank-ordered unit lists; the concatenation in shard order is
+            # exactly the serial projection, so the tree inserts (which stay
+            # sequential — the tree is one shared structure) see identical
+            # input either way.
+            if executor is not None and executor.n_shards > 1:
+                rows_in_order = [
+                    units
+                    for shard_units in executor.map_shard_method(
+                        "rows_as_ordered_units", order
+                    )
+                    for units in shard_units
+                ]
+            else:
+                rows_in_order = database.columnar().rows_as_ordered_units(order)
+            for units in rows_in_order:
                 if not units:
                     continue
                 if self.probability_precision is not None:
@@ -275,14 +297,16 @@ class UFPGrowth(ExpectedSupportMiner):
     # -- entry point -------------------------------------------------------------------
     def _mine(self, database: UncertainDatabase, min_expected_support: float) -> MiningResult:
         statistics = self._new_statistics()
-        with instrumented_run(statistics, self.track_memory):
+        with instrumented_run(statistics, self.track_memory), self._open_executor(
+            database
+        ) as executor:
             frequent_items = frequent_items_by_expected_support(
                 database, min_expected_support, backend=self.backend
             )
             statistics.database_scans += 2  # item pass + tree construction pass
             records: List[FrequentItemset] = []
             if frequent_items:
-                tree = self._build_global_tree(database, frequent_items)
+                tree = self._build_global_tree(database, frequent_items, executor)
                 statistics.notes["global_tree_nodes"] = float(tree.node_count)
                 self._mine_tree(tree, (), min_expected_support, records, statistics)
         return MiningResult(records, statistics)

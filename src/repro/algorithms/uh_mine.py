@@ -73,6 +73,12 @@ class UHMine(ExpectedSupportMiner):
         This is the hook the paper's NDUH-Mine proposal relies on: variance
         costs one extra multiply-add per visited cell, keeping the O(N)
         per-itemset complexity intact.
+    workers, shards:
+        Partition-parallel knobs (see :class:`MinerBase`).  The UH-Struct
+        is assembled from per-shard row ranges — concatenating them in
+        shard order reproduces the serial struct exactly — while the
+        depth-first search itself stays sequential (it walks one shared
+        in-memory structure).
     """
 
     name = "uh-mine"
@@ -82,13 +88,19 @@ class UHMine(ExpectedSupportMiner):
         track_variance: bool = False,
         track_memory: bool = False,
         backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> None:
-        super().__init__(track_memory=track_memory, backend=backend)
+        super().__init__(
+            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+        )
         self.track_variance = track_variance
 
     def _mine(self, database: UncertainDatabase, min_expected_support: float) -> MiningResult:
         statistics = self._new_statistics()
-        with instrumented_run(statistics, self.track_memory):
+        with instrumented_run(statistics, self.track_memory), self._open_executor(
+            database
+        ) as executor:
             records: List[FrequentItemset] = []
 
             frequent_items = frequent_items_by_expected_support(
@@ -113,7 +125,19 @@ class UHMine(ExpectedSupportMiner):
                 )
             }
             if self.backend == "columnar":
-                struct = build_uh_struct_columnar(database.columnar(), item_order)
+                if executor.n_shards > 1:
+                    # Each shard yields its rows' ordered unit lists; shard
+                    # order is row order, so the concatenation matches the
+                    # serial struct exactly.
+                    struct = []
+                    for shard_units in executor.map_shard_method(
+                        "rows_as_ordered_units", item_order
+                    ):
+                        struct.extend(
+                            tuple(cells) for cells in shard_units if cells
+                        )
+                else:
+                    struct = build_uh_struct_columnar(database.columnar(), item_order)
             else:
                 struct = build_uh_struct(database, item_order)
             statistics.database_scans += 1

@@ -54,6 +54,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="probability-evaluation backend (default: columnar)",
     )
+    _add_parallel_arguments(mine_parser)
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="run one of the paper's experiment scenarios"
@@ -73,7 +74,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="probability-evaluation backend (default: columnar)",
     )
+    _add_parallel_arguments(experiment_parser)
     return parser
+
+
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the partition-parallel engine "
+            "(default: REPRO_WORKERS or 1; 0 = one per CPU)"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "row shards of the columnar view "
+            "(default: REPRO_SHARDS or the worker count)"
+        ),
+    )
 
 
 def _command_list() -> int:
@@ -101,6 +124,8 @@ def _command_mine(args: argparse.Namespace) -> int:
             algorithm=args.algorithm,
             min_esup=threshold,
             backend=args.backend,
+            workers=args.workers,
+            shards=args.shards,
         )
     else:
         threshold = args.min_sup if args.min_sup is not None else 0.5
@@ -110,6 +135,8 @@ def _command_mine(args: argparse.Namespace) -> int:
             min_sup=threshold,
             pft=args.pft,
             backend=args.backend,
+            workers=args.workers,
+            shards=args.shards,
         )
 
     statistics = result.statistics
@@ -145,12 +172,20 @@ def _command_experiment(args: argparse.Namespace) -> int:
         print(f"== {spec.experiment_id}: {spec.title} ==")
         if spec.experiment_id.startswith("table"):
             points = runner.run_accuracy_experiment(
-                spec, max_points=args.max_points, backend=args.backend
+                spec,
+                max_points=args.max_points,
+                backend=args.backend,
+                workers=args.workers,
+                shards=args.shards,
             )
             print(reporting.format_accuracy_table(points))
         else:
             points = runner.run_experiment(
-                spec, max_points=args.max_points, backend=args.backend
+                spec,
+                max_points=args.max_points,
+                backend=args.backend,
+                workers=args.workers,
+                shards=args.shards,
             )
             print(reporting.format_sweep_table(points))
         print()

@@ -2,6 +2,7 @@
 
 from .itemset import Itemset
 from .miner import mine
+from .parallel import ParallelExecutor, resolve_shards, resolve_workers
 from .registry import (
     AlgorithmInfo,
     algorithm_names,
@@ -12,6 +13,7 @@ from .registry import (
 from .results import FrequentItemset, MiningResult, MiningStatistics
 from .rules import AssociationRule, closed_itemsets, derive_rules
 from .support import (
+    MergeableSupportStats,
     SupportDistribution,
     SupportEngine,
     chernoff_upper_bound,
@@ -32,8 +34,10 @@ __all__ = [
     "ExpectedSupportThreshold",
     "FrequentItemset",
     "Itemset",
+    "MergeableSupportStats",
     "MiningResult",
     "MiningStatistics",
+    "ParallelExecutor",
     "ProbabilisticThreshold",
     "SupportDistribution",
     "SupportEngine",
@@ -53,4 +57,6 @@ __all__ = [
     "poisson_lambda_for_threshold",
     "poisson_tail_probability",
     "register_algorithm",
+    "resolve_shards",
+    "resolve_workers",
 ]

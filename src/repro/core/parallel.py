@@ -1,0 +1,361 @@
+"""Partition-parallel execution of support-statistics workloads.
+
+The columnar backend of PR 1 batched the per-level math on one core; this
+module distributes those batches across worker processes without changing a
+single bit of the results.  Two orthogonal axes of parallelism exist:
+
+* **row shards** — the database is split into ``K`` contiguous row ranges
+  (:mod:`repro.db.partition`); candidate probability vectors are extracted
+  per shard and concatenated.  Because every per-transaction product is
+  computed row-locally, the concatenated vector is *bitwise identical* to
+  the vector the unpartitioned view produces.
+* **candidate chunks** — the expensive tail evaluations (the DP recurrence,
+  the divide-and-conquer convolution) are independent per candidate, so a
+  level is split into even chunks, each evaluated by the same serial kernel
+  a single-core run would use.  Chunk boundaries cannot change any value:
+  the batched DP treats padding columns as Bernoulli(0) identity steps and
+  the convolution is per-candidate to begin with.
+
+Consequently a run with any ``(workers, shards)`` combination returns
+byte-identical frequent itemsets and tail probabilities to the serial
+columnar path — the property pinned by ``tests/test_partition_parallel.py``.
+
+The process backend uses :class:`multiprocessing.pool.Pool` with a
+fork-preferring context; shard views are shipped to the workers once (pool
+initializer) rather than per task, and per-shard results are memoised on
+the coordinator so repeated level evaluations are free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .support import (
+    dc_tail_probabilities,
+    frequent_probabilities_dp_batch,
+    pack_probability_matrix,
+)
+
+__all__ = [
+    "ParallelExecutor",
+    "WORKERS_ENV",
+    "SHARDS_ENV",
+    "resolve_workers",
+    "resolve_shards",
+    "even_chunks",
+]
+
+#: environment variable supplying the default worker count
+WORKERS_ENV = "REPRO_WORKERS"
+#: environment variable supplying the default shard count
+SHARDS_ENV = "REPRO_SHARDS"
+
+
+def _available_cpus() -> int:
+    """Number of CPUs the process may actually use (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve a worker count.
+
+    Args:
+        workers: Explicit worker count, or ``None`` to consult the
+            ``REPRO_WORKERS`` environment variable (missing/empty means 1).
+            The value ``0`` (or the env value ``"auto"``) means "one worker
+            per available CPU".
+
+    Returns:
+        A validated worker count ``>= 1``.
+
+    >>> resolve_workers(3)
+    3
+    >>> resolve_workers(1)
+    1
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        if raw.lower() == "auto":
+            return _available_cpus()
+        workers = int(raw)
+    workers = int(workers)
+    if workers == 0:
+        return _available_cpus()
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def resolve_shards(shards: Optional[int] = None, workers: int = 1) -> int:
+    """Resolve a shard count.
+
+    Args:
+        shards: Explicit shard count, or ``None`` to consult the
+            ``REPRO_SHARDS`` environment variable; when that is also unset
+            the shard count defaults to ``workers`` (so raising the worker
+            count automatically engages the partitioned path).
+        workers: The already-resolved worker count.
+
+    Returns:
+        A validated shard count ``>= 1``.
+
+    >>> resolve_shards(4, workers=1)
+    4
+    >>> resolve_shards(None, workers=2)
+    2
+    """
+    if shards is None:
+        raw = os.environ.get(SHARDS_ENV, "").strip()
+        shards = int(raw) if raw else max(1, int(workers))
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return shards
+
+
+def even_chunks(items: Sequence[Any], n_chunks: int) -> List[Sequence[Any]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, near-equal runs.
+
+    Order is preserved and no chunk is empty, so concatenating per-chunk
+    results restores the original item order exactly.  The split arithmetic
+    is :func:`repro.db.partition.shard_bounds` — candidate chunking and row
+    sharding deliberately share one partitioning rule.
+
+    >>> even_chunks([1, 2, 3, 4, 5], 2)
+    [[1, 2, 3], [4, 5]]
+    >>> even_chunks([1, 2], 5)
+    [[1], [2]]
+    """
+    # Imported lazily: repro.db pulls this module in via its package
+    # __init__, so a top-level import would be circular.
+    from ..db.partition import shard_bounds
+
+    if not len(items):
+        return []
+    return [
+        items[start:stop] for start, stop in shard_bounds(len(items), n_chunks)
+    ]
+
+
+# -- worker-process kernels --------------------------------------------------------
+# Pool tasks must be module-level functions (picklable under both the fork
+# and spawn start methods).  Shard views are installed once per worker
+# process by the pool initializer; tasks then reference them by index so a
+# level evaluation ships only the candidate list.
+
+_WORKER_SHARDS: Optional[Sequence[Any]] = None
+
+
+def _install_worker_shards(shards: Optional[Sequence[Any]]) -> None:
+    global _WORKER_SHARDS
+    _WORKER_SHARDS = shards
+
+
+def _shard_method_task(payload: Tuple[int, str, tuple, dict]) -> Any:
+    index, method, args, kwargs = payload
+    assert _WORKER_SHARDS is not None, "worker pool initialized without shards"
+    return getattr(_WORKER_SHARDS[index], method)(*args, **kwargs)
+
+
+def _dp_tail_task(payload: Tuple[List[np.ndarray], int]) -> np.ndarray:
+    vectors, min_count = payload
+    return frequent_probabilities_dp_batch(pack_probability_matrix(vectors), min_count)
+
+
+def _dc_tail_task(payload: Tuple[List[np.ndarray], int]) -> np.ndarray:
+    vectors, min_count = payload
+    return dc_tail_probabilities(vectors, min_count)
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert a task argument into a hashable cache key."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, np.ndarray):
+        return (value.shape, value.tobytes())
+    return value
+
+
+class ParallelExecutor:
+    """Coordinator for one mining run's parallel work.
+
+    The executor owns (lazily) a process pool and, optionally, the row
+    shards of the database being mined.  It exposes exactly the operations
+    the miners need — per-shard method fan-out with concatenation, and
+    candidate-chunked DP / divide-and-conquer tail evaluation — all of which
+    return results bitwise identical to their serial counterparts.
+
+    Args:
+        workers: Worker count (resolved through :func:`resolve_workers`).
+            ``1`` keeps everything in-process; the chunking/merging code
+            paths still run so serial and parallel runs share one code path.
+        shard_views: Optional row shards (``repro.db.ColumnarPartition``
+            shards or any objects exposing the queried methods).  Shipped to
+            worker processes once via the pool initializer.
+        cache_size: Per-shard results memoised on the coordinator, bounded
+            at ``cache_size * n_shards`` entries (0 disables caching).  The
+            level-wise miners query each level exactly once per run, so this
+            only pays off for consumers that re-query an executor (e.g. an
+            interactive session or a re-entrant evaluation); the default is
+            kept small so an unlucky workload cannot pin whole levels of
+            vectors in memory.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        shard_views: Optional[Sequence[Any]] = None,
+        cache_size: int = 4,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self._shard_views: Optional[List[Any]] = (
+            list(shard_views) if shard_views is not None else None
+        )
+        self._pool = None
+        self._cache: "OrderedDict[Any, Any]" = OrderedDict()
+        self._cache_size = int(cache_size)
+        #: number of per-shard results served from the coordinator cache
+        self.cache_hits = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        """True when work is actually distributed to other processes."""
+        return self.workers > 1
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shard_views) if self._shard_views else 0
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            self._pool = context.Pool(
+                self.workers,
+                initializer=_install_worker_shards,
+                initargs=(self._shard_views,),
+            )
+        return self._pool
+
+    def _map(self, task, payloads: List[Any]) -> List[Any]:
+        """Ordered map over payloads — in-process when serial, pooled otherwise."""
+        if not self.parallel or len(payloads) <= 1:
+            return [task(payload) for payload in payloads]
+        return self._ensure_pool().map(task, payloads)
+
+    # -- shard fan-out -----------------------------------------------------------
+    def map_shard_method(self, method: str, *args, **kwargs) -> List[Any]:
+        """Call ``shard.<method>(*args, **kwargs)`` on every shard, in shard order.
+
+        Results are memoised per ``(shard, method, arguments)`` so repeated
+        level evaluations (e.g. an approximate miner re-querying the level
+        its inner engine just produced) are served from the coordinator
+        cache.
+        """
+        if not self._shard_views:
+            raise RuntimeError("executor was created without shard views")
+        key_suffix = (method, _freeze(args), _freeze(kwargs))
+        results: List[Any] = [None] * len(self._shard_views)
+        missing: List[int] = []
+        for index in range(len(self._shard_views)):
+            hit = self._cache.get((index,) + key_suffix) if self._cache_size else None
+            if hit is not None:
+                self.cache_hits += 1
+                results[index] = hit
+            else:
+                missing.append(index)
+        if missing:
+            payloads = [(index, method, args, kwargs) for index in missing]
+            if self.parallel and len(missing) > 1:
+                fresh = self._ensure_pool().map(_shard_method_task, payloads)
+            else:
+                fresh = [
+                    getattr(self._shard_views[index], method)(*args, **kwargs)
+                    for index in missing
+                ]
+            for index, value in zip(missing, fresh):
+                results[index] = value
+                if self._cache_size:
+                    self._cache[(index,) + key_suffix] = value
+                    while len(self._cache) > self._cache_size * max(1, self.n_shards):
+                        self._cache.popitem(last=False)
+        return results
+
+    def shard_vectors(
+        self, candidates: Sequence[Tuple[int, ...]]
+    ) -> List[np.ndarray]:
+        """Compressed probability vectors of a level, extracted shard-parallel.
+
+        Every shard evaluates the whole candidate list over its own rows;
+        the per-shard compressed vectors are then concatenated in shard
+        (i.e. row) order, which reproduces the unpartitioned view's vectors
+        bitwise — per-transaction products are row-local and row order is
+        preserved.
+        """
+        candidates = [tuple(candidate) for candidate in candidates]
+        per_shard = self.map_shard_method("batch_vectors", candidates)
+        return [
+            np.concatenate([shard_vectors[i] for shard_vectors in per_shard])
+            for i in range(len(candidates))
+        ]
+
+    # -- candidate-chunked tail kernels --------------------------------------------
+    def should_distribute(self, n_candidates: int) -> bool:
+        """Whether a candidate batch is worth splitting across the pool."""
+        return self.parallel and n_candidates >= 2
+
+    def dp_tails(self, vectors: Sequence[np.ndarray], min_count: int) -> np.ndarray:
+        """Candidate-chunked :func:`frequent_probabilities_dp_batch`.
+
+        Chunks are evaluated with the identical serial kernel; zero-padding
+        differences between chunk widths are Bernoulli(0) identity steps of
+        the recurrence, so the concatenated result is bitwise equal to the
+        single-batch evaluation.
+        """
+        vectors = list(vectors)
+        if not self.should_distribute(len(vectors)):
+            return _dp_tail_task((vectors, int(min_count)))
+        chunks = even_chunks(vectors, self.workers)
+        results = self._map(
+            _dp_tail_task, [(list(chunk), int(min_count)) for chunk in chunks]
+        )
+        return np.concatenate(results) if results else np.zeros(0, dtype=float)
+
+    def dc_tails(self, vectors: Sequence[np.ndarray], min_count: int) -> np.ndarray:
+        """Candidate-chunked divide-and-conquer tail evaluation (FFT path)."""
+        vectors = list(vectors)
+        if not self.should_distribute(len(vectors)):
+            return _dc_tail_task((vectors, int(min_count)))
+        chunks = even_chunks(vectors, self.workers)
+        results = self._map(
+            _dc_tail_task, [(list(chunk), int(min_count)) for chunk in chunks]
+        )
+        return np.concatenate(results) if results else np.zeros(0, dtype=float)

@@ -21,13 +21,18 @@ the module-level functions expose the raw numerics for reuse and testing.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .parallel import ParallelExecutor
+
 __all__ = [
+    "MergeableSupportStats",
     "SupportDistribution",
     "SupportEngine",
+    "dc_tail_probabilities",
     "exact_pmf_dynamic_programming",
     "exact_pmf_divide_conquer",
     "frequent_probability_dynamic_programming",
@@ -51,8 +56,19 @@ def _standard_normal_cdf(z: float) -> float:
 def exact_pmf_dynamic_programming(probabilities: Sequence[float]) -> np.ndarray:
     """Exact Poisson-Binomial PMF by the classic O(N^2) dynamic programme.
 
-    ``result[k]`` is the probability that exactly ``k`` of the ``N``
-    transactions contain the itemset.
+    Implements the incremental convolution ``f_j = f_{j-1} * [1 - p_j, p_j]``:
+    after absorbing transaction ``j``, ``f_j[k]`` is the probability that
+    exactly ``k`` of the first ``j`` transactions contain the itemset.
+
+    Args:
+        probabilities: Per-transaction occurrence probabilities ``p_i(X)``
+            (zeros may be omitted — they shift nothing).
+
+    Returns:
+        Array of length ``N + 1``; ``result[k] = Pr[sup(X) = k]``.
+
+    >>> exact_pmf_dynamic_programming([0.5, 0.5]).tolist()
+    [0.25, 0.5, 0.25]
     """
     probabilities = np.asarray(probabilities, dtype=float)
     n = len(probabilities)
@@ -86,8 +102,24 @@ def exact_pmf_divide_conquer(
     """Exact Poisson-Binomial PMF by divide-and-conquer convolution.
 
     The database is split recursively; the PMFs of the halves are combined
-    by polynomial multiplication.  With FFT-based convolution the total cost
-    is O(N log^2 N), the strategy behind the paper's DC algorithm.
+    by polynomial multiplication ``pmf = pmf_left (*) pmf_right`` (support
+    of a union of disjoint transaction sets is the sum of independent
+    supports).  With FFT-based convolution the total cost is O(N log^2 N),
+    the strategy behind the paper's DC algorithm — and the same identity the
+    partition-parallel :class:`MergeableSupportStats` uses to merge exact
+    PMFs across row shards.
+
+    Args:
+        probabilities: Per-transaction occurrence probabilities ``p_i(X)``.
+        use_fft: Convolve halves longer than 64 entries via FFT; disabling
+            falls back to quadratic direct convolution (the paper's DC
+            ablation).
+
+    Returns:
+        Array of length ``N + 1``; ``result[k] = Pr[sup(X) = k]``.
+
+    >>> exact_pmf_divide_conquer([0.5, 0.5]).tolist()
+    [0.25, 0.5, 0.25]
     """
     probabilities = np.asarray(probabilities, dtype=float)
 
@@ -118,6 +150,18 @@ def frequent_probability_dynamic_programming(
     boundary cases ``Pr_{>=0,j} = 1`` and ``Pr_{>=i,j} = 0`` for ``i > j``.
     The cost is O(N * min_count), cheaper than the full PMF when
     ``min_count`` is small.
+
+    Args:
+        probabilities: Per-transaction occurrence probabilities ``p_i(X)``.
+        min_count: Absolute support threshold ``minsup`` (``i`` above).
+
+    Returns:
+        The exact frequent probability ``Pr[sup(X) >= min_count]``.
+
+    >>> frequent_probability_dynamic_programming([0.5, 0.5], 1)
+    0.75
+    >>> frequent_probability_dynamic_programming([0.5, 0.5], 3)
+    0.0
     """
     probabilities = np.asarray(probabilities, dtype=float)
     n = len(probabilities)
@@ -147,8 +191,22 @@ def poisson_tail_probability(expected_support: float, min_count: int) -> float:
     """Poisson approximation of ``Pr[sup(X) >= min_count]``.
 
     The Poisson-Binomial variable is approximated by a Poisson variable with
-    rate ``lambda = esup(X)`` (Le Cam's theorem); the tail is one minus the
-    Poisson CDF at ``min_count - 1``.
+    rate ``lambda = esup(X)`` (Le Cam's theorem); the tail is
+    ``1 - F_Poisson(min_count - 1; lambda)
+    = 1 - sum_{k < min_count} e^{-lambda} lambda^k / k!``,
+    the formula behind the paper's PDUApriori.
+
+    Args:
+        expected_support: The rate ``lambda = esup(X)``.
+        min_count: Absolute support threshold.
+
+    Returns:
+        The approximate frequent probability, clipped to ``[0, 1]``.
+
+    >>> round(poisson_tail_probability(1.0, 1), 12)
+    0.632120558829
+    >>> poisson_tail_probability(0.0, 1)
+    0.0
     """
     if min_count <= 0:
         return 1.0
@@ -169,8 +227,22 @@ def normal_tail_probability(
 ) -> float:
     """Normal approximation of ``Pr[sup(X) >= min_count]`` with continuity correction.
 
-    Follows the paper's formula ``Pr(X) ~ Phi((esup - (min_count - 0.5)) / sqrt(Var))``
-    (equivalently one minus the CDF evaluated at the corrected threshold).
+    Follows the paper's formula (central limit theorem on the Poisson-
+    Binomial support, used by NDUApriori and NDUH-Mine):
+    ``Pr(X) ~ Phi((esup(X) - (min_count - 0.5)) / sqrt(Var[sup(X)]))``.
+
+    Args:
+        expected_support: First moment ``esup(X)``.
+        variance: Second central moment ``Var[sup(X)]``.
+        min_count: Absolute support threshold (continuity-corrected by 0.5).
+
+    Returns:
+        The approximate frequent probability.
+
+    >>> normal_tail_probability(1.0, 0.5, 1)  # threshold exactly at the mean
+    0.7602499389065233
+    >>> normal_tail_probability(2.0, 0.0, 1)  # degenerate: all mass at esup
+    1.0
     """
     if min_count <= 0:
         return 1.0
@@ -184,9 +256,24 @@ def normal_tail_probability(
 def chernoff_upper_bound(expected_support: float, min_count: int) -> float:
     """Chernoff upper bound on ``Pr[sup(X) >= min_count]`` (Lemma 1).
 
-    Returns 1.0 when the bound is uninformative (``min_count`` does not
-    exceed the expectation), so callers can use the value directly as a
-    conservative estimate of the frequent probability.
+    With ``mu = esup(X)`` and ``delta = (min_count - mu - 1) / mu`` the bound
+    is ``2^{-delta * mu}`` when ``delta > 2e - 1`` and
+    ``e^{-delta^2 mu / 4}`` otherwise — the cheap pre-filter of the paper's
+    DPB/DCB configurations.
+
+    Args:
+        expected_support: First moment ``mu = esup(X)``.
+        min_count: Absolute support threshold.
+
+    Returns:
+        An upper bound on the frequent probability; 1.0 when the bound is
+        uninformative (``min_count`` does not exceed the expectation), so
+        callers can use the value directly as a conservative estimate.
+
+    >>> chernoff_upper_bound(10.0, 5)   # threshold below the mean: no information
+    1.0
+    >>> chernoff_upper_bound(1.0, 40) == 2.0 ** -38
+    True
     """
     mu = float(expected_support)
     if mu <= 0.0:
@@ -207,6 +294,24 @@ def poisson_lambda_for_threshold(min_count: int, pft: float) -> float:
     monotonically increasing in ``lambda``, a binary search finds the rate at
     which ``Pr[Poisson(lambda) >= min_count] = pft``; itemsets whose expected
     support reaches that rate are (approximately) probabilistic frequent.
+
+    Args:
+        min_count: Absolute support threshold.
+        pft: Probabilistic frequentness threshold, strictly inside (0, 1).
+
+    Returns:
+        The smallest rate ``lambda*`` with
+        ``Pr[Poisson(lambda*) >= min_count] > pft`` (up to bisection
+        precision).
+
+    Raises:
+        ValueError: If ``pft`` is not strictly between 0 and 1.
+
+    >>> lam = poisson_lambda_for_threshold(3, 0.9)
+    >>> poisson_tail_probability(lam, 3) > 0.9
+    True
+    >>> poisson_tail_probability(lam * 0.99, 3) > 0.9
+    False
     """
     if not 0.0 < pft < 1.0:
         raise ValueError("pft must lie strictly between 0 and 1")
@@ -231,7 +336,19 @@ def pack_probability_matrix(vectors: Sequence[Sequence[float]]) -> np.ndarray:
 
     A padded zero is a Bernoulli(0) transaction, the identity of every
     support-distribution recurrence, so batched evaluations over the padded
-    matrix agree bitwise with per-vector evaluations.
+    matrix agree bitwise with per-vector evaluations — and, for the same
+    reason, evaluations of candidate *chunks* (whose padded widths differ)
+    agree bitwise with the full batch, the property the parallel executor's
+    chunked DP relies on.
+
+    Args:
+        vectors: One probability vector per candidate (ragged lengths).
+
+    Returns:
+        A ``(n_candidates, max_len)`` float matrix, each row zero-padded.
+
+    >>> pack_probability_matrix([[0.5], [0.25, 1.0]]).tolist()
+    [[0.5, 0.0], [0.25, 1.0]]
     """
     arrays = [np.asarray(vector, dtype=float) for vector in vectors]
     width = max((len(array) for array in arrays), default=0)
@@ -247,11 +364,26 @@ def frequent_probabilities_dp_batch(
     """Batched ``Pr[sup(X) >= min_count]`` via the DP recurrence.
 
     ``matrix`` holds one (possibly zero-padded) probability vector per row;
-    the classic O(N * min_count) recurrence is advanced over the transaction
-    axis with every candidate updated in one vectorized step, turning the
-    per-candidate Python loop into ``max_len`` NumPy operations shared by
-    the whole level.  Results are bitwise identical to
-    :func:`frequent_probability_dynamic_programming` applied row by row.
+    the classic O(N * min_count) recurrence
+    ``Pr_{>=i,j} = Pr_{>=i-1,j-1} * p_j + Pr_{>=i,j-1} * (1 - p_j)``
+    is advanced over the transaction axis with every candidate updated in
+    one vectorized step, turning the per-candidate Python loop into
+    ``max_len`` NumPy operations shared by the whole level.  Results are
+    bitwise identical to :func:`frequent_probability_dynamic_programming`
+    applied row by row.
+
+    Args:
+        matrix: ``(n_candidates, max_len)`` padded probability matrix (see
+            :func:`pack_probability_matrix`).
+        min_count: Absolute support threshold.
+
+    Returns:
+        Array of ``Pr[sup(X) >= min_count]``, one entry per candidate row.
+
+    >>> frequent_probabilities_dp_batch(
+    ...     pack_probability_matrix([[0.5, 0.5], [1.0]]), 1
+    ... ).tolist()
+    [0.75, 1.0]
     """
     matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
     n_candidates, width = matrix.shape
@@ -267,6 +399,39 @@ def frequent_probabilities_dp_batch(
         p = matrix[:, j : j + 1]
         state[:, 1:] = state[:, :-1] * p + state[:, 1:] * (1.0 - p)
     return state[:, min_count].copy()
+
+
+def dc_tail_probabilities(
+    vectors: Sequence[np.ndarray], min_count: int
+) -> np.ndarray:
+    """Per-candidate ``Pr[sup(X) >= min_count]`` via divide-and-conquer PMFs.
+
+    The single kernel shared by the serial engine path and the parallel
+    executor's candidate chunks — one implementation, so the two paths
+    cannot drift apart.
+
+    Args:
+        vectors: One zeros-omitted probability vector per candidate.
+        min_count: Absolute support threshold.
+
+    Returns:
+        Array of exact frequent probabilities, clipped to ``[0, 1]``.
+
+    >>> import numpy as np
+    >>> dc_tail_probabilities([np.array([0.5, 0.5]), np.array([1.0])], 1).tolist()
+    [0.75, 1.0]
+    """
+    min_count = int(min_count)
+    results = np.empty(len(vectors), dtype=float)
+    for index, vector in enumerate(vectors):
+        if min_count <= 0:
+            results[index] = 1.0
+        elif min_count > len(vector):
+            results[index] = 0.0
+        else:
+            tail = float(exact_pmf_divide_conquer(vector)[min_count:].sum())
+            results[index] = max(0.0, min(1.0, tail))
+    return results
 
 
 class SupportEngine:
@@ -290,6 +455,12 @@ class SupportEngine:
         Optional precomputed per-candidate moments.  A caller subsetting an
         already-evaluated level (the survivor batch of the Apriori miners)
         passes them to avoid re-deriving the reductions.
+    executor:
+        Optional :class:`~repro.core.parallel.ParallelExecutor`.  When it is
+        present and parallel, the exact tail evaluations are distributed as
+        candidate chunks across its worker pool; every chunk runs the same
+        serial kernel, so the results stay bitwise identical to the
+        single-process path.
     """
 
     def __init__(
@@ -297,6 +468,7 @@ class SupportEngine:
         vectors: Sequence[Sequence[float]],
         expected: Optional[Sequence[float]] = None,
         variances: Optional[Sequence[float]] = None,
+        executor: Optional["ParallelExecutor"] = None,
     ) -> None:
         self._vectors = [np.asarray(vector, dtype=float) for vector in vectors]
         self._matrix: Optional[np.ndarray] = None
@@ -306,6 +478,7 @@ class SupportEngine:
         self._variance: Optional[np.ndarray] = (
             np.asarray(variances, dtype=float) if variances is not None else None
         )
+        self._executor = executor
 
     def __len__(self) -> int:
         return len(self._vectors)
@@ -359,22 +532,22 @@ class SupportEngine:
         ``"dynamic_programming"`` advances the whole level through the
         vectorized DP recurrence; ``"divide_conquer"`` assembles each
         candidate's PMF by FFT convolution (inherently per-candidate, so it
-        loops, but each convolution is NumPy-heavy).
+        loops, but each convolution is NumPy-heavy).  With a parallel
+        executor attached, either evaluation is split into candidate chunks
+        across the worker pool (bitwise-identical results).
         """
         min_count = int(min_count)
+        distribute = self._executor is not None and self._executor.should_distribute(
+            len(self._vectors)
+        )
         if method == "dynamic_programming":
+            if distribute:
+                return self._executor.dp_tails(self._vectors, min_count)
             return frequent_probabilities_dp_batch(self.matrix, min_count)
         if method == "divide_conquer":
-            results = np.empty(len(self._vectors), dtype=float)
-            for index, vector in enumerate(self._vectors):
-                if min_count <= 0:
-                    results[index] = 1.0
-                elif min_count > len(vector):
-                    results[index] = 0.0
-                else:
-                    tail = float(exact_pmf_divide_conquer(vector)[min_count:].sum())
-                    results[index] = max(0.0, min(1.0, tail))
-            return results
+            if distribute:
+                return self._executor.dc_tails(self._vectors, min_count)
+            return dc_tail_probabilities(self._vectors, min_count)
         raise ValueError(f"unknown method {method!r}")
 
     # -- approximations ----------------------------------------------------------------
@@ -413,6 +586,179 @@ class SupportEngine:
             ],
             dtype=float,
         )
+
+
+class MergeableSupportStats:
+    """Per-shard support statistics of one candidate batch, with exact merges.
+
+    When the database is row-sharded (:mod:`repro.db.partition`), the
+    support of a candidate is the sum of its independent per-shard supports.
+    Every statistic the miners consume therefore has an exact merge
+    operator:
+
+    * **compressed vectors** concatenate in shard order — reproducing the
+      unpartitioned vector *bitwise*, since per-transaction products are
+      row-local;
+    * **expected support** and **variance** add:
+      ``esup(X) = sum_s esup_s(X)``, ``Var[sup(X)] = sum_s Var_s[sup(X)]``
+      (independence across shards);
+    * **maximum attainable supports** (non-zero counts) add;
+    * **exact PMFs** convolve: ``pmf = pmf_1 (*) ... (*) pmf_K`` (the PMF of
+      a sum of independent variables), using the same :func:`_convolve`
+      kernel as the DC miner, so DP/DC tail probabilities survive sharding
+      exactly (to convolution round-off, well below 1e-12).
+
+    The scalar merges are mathematically exact but may differ from the
+    serial reductions in the last ulp (different summation order).  The
+    mining engine therefore uses the *vector concatenation* merge and
+    re-derives moments and tails with the serial kernels — that path is
+    byte-identical to an unpartitioned run — while this class is the
+    aggregation algebra for distributed consumers that only ship
+    statistics, never vectors.
+
+    >>> left = MergeableSupportStats.from_vectors([[0.5]], with_pmfs=True)
+    >>> right = MergeableSupportStats.from_vectors([[0.5]], with_pmfs=True)
+    >>> merged = left.merge(right)
+    >>> merged.expected.tolist(), merged.pmfs[0].tolist()
+    ([1.0], [0.25, 0.5, 0.25])
+    >>> merged.frequent_probabilities(1).tolist()
+    [0.75]
+    """
+
+    __slots__ = ("vectors", "expected", "variance", "max_supports", "pmfs")
+
+    def __init__(
+        self,
+        vectors: List[np.ndarray],
+        expected: np.ndarray,
+        variance: np.ndarray,
+        max_supports: np.ndarray,
+        pmfs: Optional[List[np.ndarray]] = None,
+    ) -> None:
+        self.vectors = vectors
+        self.expected = expected
+        self.variance = variance
+        self.max_supports = max_supports
+        self.pmfs = pmfs
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+    @classmethod
+    def from_vectors(
+        cls, vectors: Sequence[Sequence[float]], with_pmfs: bool = False
+    ) -> "MergeableSupportStats":
+        """Compute the statistics of one shard from its compressed vectors.
+
+        Args:
+            vectors: One zeros-omitted probability vector per candidate,
+                restricted to the shard's rows.
+            with_pmfs: Also materialise the exact per-candidate PMFs
+                (needed when tails are to be merged across shards).
+
+        Returns:
+            The shard's mergeable statistics.
+        """
+        arrays = [np.asarray(vector, dtype=float) for vector in vectors]
+        expected = np.array([float(v.sum()) for v in arrays], dtype=float)
+        variance = np.array(
+            [float((v * (1.0 - v)).sum()) for v in arrays], dtype=float
+        )
+        max_supports = np.array(
+            [int(np.count_nonzero(v)) for v in arrays], dtype=np.int64
+        )
+        pmfs = [exact_pmf_divide_conquer(v) for v in arrays] if with_pmfs else None
+        return cls(arrays, expected, variance, max_supports, pmfs)
+
+    @classmethod
+    def from_partition(
+        cls, partition, candidates: Sequence, with_pmfs: bool = False
+    ) -> "MergeableSupportStats":
+        """Evaluate ``candidates`` over every shard of ``partition`` and merge.
+
+        ``partition`` is a :class:`~repro.db.partition.ColumnarPartition`
+        (duck-typed: anything with a ``shards`` sequence whose members offer
+        ``batch_vectors``).
+        """
+        candidates = [tuple(candidate) for candidate in candidates]
+        parts = [
+            cls.from_vectors(shard.batch_vectors(candidates), with_pmfs=with_pmfs)
+            for shard in partition.shards
+        ]
+        return cls.merge_all(parts)
+
+    def merge(self, other: "MergeableSupportStats") -> "MergeableSupportStats":
+        """Merge two shards' statistics (this shard's rows precede ``other``'s).
+
+        Returns:
+            A new :class:`MergeableSupportStats`; inputs are unchanged.
+
+        Raises:
+            ValueError: If the candidate counts differ, or only one side
+                carries PMFs.
+        """
+        if len(self) != len(other):
+            raise ValueError(
+                f"cannot merge stats of {len(self)} and {len(other)} candidates"
+            )
+        if (self.pmfs is None) != (other.pmfs is None):
+            raise ValueError("cannot merge PMF-carrying stats with PMF-free stats")
+        pmfs = None
+        if self.pmfs is not None and other.pmfs is not None:
+            pmfs = [
+                _convolve(left, right, use_fft=True)
+                for left, right in zip(self.pmfs, other.pmfs)
+            ]
+        return MergeableSupportStats(
+            [
+                np.concatenate((left, right))
+                for left, right in zip(self.vectors, other.vectors)
+            ],
+            self.expected + other.expected,
+            self.variance + other.variance,
+            self.max_supports + other.max_supports,
+            pmfs,
+        )
+
+    @classmethod
+    def merge_all(
+        cls, parts: Sequence["MergeableSupportStats"]
+    ) -> "MergeableSupportStats":
+        """Fold :meth:`merge` over per-shard statistics in shard order."""
+        if not parts:
+            raise ValueError("merge_all requires at least one shard")
+        merged = parts[0]
+        for part in parts[1:]:
+            merged = merged.merge(part)
+        return merged
+
+    def frequent_probabilities(self, min_count: int) -> np.ndarray:
+        """``Pr[sup(X) >= min_count]`` per candidate from the merged PMFs.
+
+        Requires the statistics to have been built ``with_pmfs=True``.
+        """
+        if self.pmfs is None:
+            raise ValueError("statistics were built without PMFs")
+        min_count = int(min_count)
+        results = np.empty(len(self.pmfs), dtype=float)
+        for index, pmf in enumerate(self.pmfs):
+            if min_count <= 0:
+                results[index] = 1.0
+            elif min_count >= len(pmf):
+                results[index] = 0.0
+            else:
+                results[index] = max(0.0, min(1.0, float(pmf[min_count:].sum())))
+        return results
+
+    def engine(self, executor: Optional["ParallelExecutor"] = None) -> SupportEngine:
+        """The byte-exact :class:`SupportEngine` over the merged vectors.
+
+        Moments are deliberately *not* taken from the additive merge: the
+        engine recomputes them from the concatenated vectors with the serial
+        kernels so that a partitioned run reports values bitwise identical
+        to an unpartitioned one.
+        """
+        return SupportEngine(self.vectors, executor=executor)
 
 
 class SupportDistribution:

@@ -9,6 +9,7 @@ validation.
 from .builder import DatabaseBuilder, paper_example_database
 from .columnar import ColumnarView
 from .database import BACKENDS, DatabaseStats, UncertainDatabase, resolve_backend
+from .partition import ColumnarPartition, shard_bounds
 from .io import read_fimi, read_uncertain, write_fimi, write_uncertain
 from .sampling import (
     enumerate_worlds,
@@ -23,6 +24,7 @@ from .vocabulary import Vocabulary
 
 __all__ = [
     "BACKENDS",
+    "ColumnarPartition",
     "ColumnarView",
     "DatabaseBuilder",
     "DatabaseStats",
@@ -39,6 +41,7 @@ __all__ = [
     "resolve_backend",
     "sample_world",
     "sample_worlds",
+    "shard_bounds",
     "validate_database",
     "world_count",
     "write_fimi",

@@ -19,6 +19,19 @@ Per-transaction products are accumulated in itemset order, exactly like the
 row backend, so the non-zero probabilities are bitwise identical between
 the two backends; only full-vector reductions may differ in the last ulp
 (different summation orders).
+
+Because every per-transaction product is row-local, a view can also be
+:meth:`sliced by row range <ColumnarView.slice_rows>` into independent
+shards whose results concatenate back bitwise — the primitive behind the
+partition-parallel engine (:mod:`repro.db.partition`).
+
+>>> from repro.db import UncertainDatabase
+>>> db = UncertainDatabase.from_records([{1: 0.5, 2: 0.8}, {1: 1.0}, {2: 0.4}])
+>>> view = db.columnar()
+>>> view.expected_support((1,))          # esup(X) = sum_i p_i(X)
+1.5
+>>> view.itemset_probabilities((1, 2)).tolist()
+[0.4, 0.0, 0.0]
 """
 
 from __future__ import annotations
@@ -73,6 +86,65 @@ class ColumnarView:
         #: lazily scattered dense columns, built per item on first dense combine
         self._dense_columns: Dict[int, np.ndarray] = {}
 
+    @classmethod
+    def from_columns(
+        cls, columns: Dict[int, ItemColumn], n_transactions: int
+    ) -> "ColumnarView":
+        """Build a view directly from item columns (no database walk).
+
+        Args:
+            columns: ``{item: (row_indices, probabilities)}`` with row
+                indices sorted ascending within each column.  The arrays
+                are adopted as-is (callers hand over ownership).
+            n_transactions: Number of rows the columns index into.
+
+        Returns:
+            A view equivalent to one built from the matching database.
+        """
+        view = cls.__new__(cls)
+        view._n_transactions = int(n_transactions)
+        view._columns = dict(columns)
+        view._dense_columns = {}
+        return view
+
+    def slice_rows(self, start: int, stop: int) -> "ColumnarView":
+        """An independent view of the row range ``[start, stop)``.
+
+        Row indices are re-based to the slice, so the shard is a
+        self-contained columnar database of ``stop - start`` transactions.
+        Because per-transaction products are row-local, any candidate's
+        compressed probability vector over the shard is exactly the
+        corresponding slice of its full-view vector — the exactness
+        guarantee the partition-parallel engine builds on.
+
+        Args:
+            start: First row (inclusive), ``0 <= start <= stop``.
+            stop: Last row (exclusive), ``stop <= n_transactions``.
+
+        Returns:
+            A new :class:`ColumnarView` over the selected rows.
+
+        >>> from repro.db import UncertainDatabase
+        >>> db = UncertainDatabase.from_records([{1: 0.5}, {1: 1.0}, {1: 0.2}])
+        >>> db.columnar().slice_rows(1, 3).itemset_probabilities((1,)).tolist()
+        [1.0, 0.2]
+        """
+        if not 0 <= start <= stop <= self._n_transactions:
+            raise ValueError(
+                f"invalid row range [{start}, {stop}) for {self._n_transactions} rows"
+            )
+        columns: Dict[int, ItemColumn] = {}
+        for item, (rows, probs) in self._columns.items():
+            lo = int(np.searchsorted(rows, start, side="left"))
+            hi = int(np.searchsorted(rows, stop, side="left"))
+            if lo == hi:
+                continue
+            sub_rows = rows[lo:hi] - start
+            sub_probs = probs[lo:hi]
+            sub_rows.flags.writeable = False
+            columns[item] = (sub_rows, sub_probs)
+        return ColumnarView.from_columns(columns, stop - start)
+
     # -- shape -------------------------------------------------------------------------
     @property
     def n_transactions(self) -> int:
@@ -99,7 +171,22 @@ class ColumnarView:
 
     # -- item statistics ---------------------------------------------------------------
     def item_statistics(self) -> Dict[int, Tuple[float, float]]:
-        """Return ``{item: (expected_support, variance)}`` for every item."""
+        """Expected support and variance of every single item.
+
+        Implements Definition 1 of the paper per item: ``esup({x}) =
+        sum_i p_i(x)`` and, since the support is a sum of independent
+        Bernoulli variables, ``Var[sup({x})] = sum_i p_i(x)(1 - p_i(x))``.
+
+        Returns:
+            ``{item: (expected_support, variance)}`` for every item that
+            occurs in the database.
+
+        >>> from repro.db import UncertainDatabase
+        >>> db = UncertainDatabase.from_records([{7: 0.5}, {7: 0.5}])
+        >>> stats = db.columnar().item_statistics()
+        >>> stats[7]
+        (1.0, 0.5)
+        """
         return {
             item: (
                 float(probs.sum()),
@@ -136,9 +223,24 @@ class ColumnarView:
     def itemset_column(self, itemset: Iterable[int]) -> ItemColumn:
         """Compressed ``(rows, probabilities)`` of an itemset.
 
-        The returned rows are the transactions containing every member of
-        ``itemset``; the probabilities are the per-transaction products,
-        multiplied in itemset order so they match the row backend bitwise.
+        Implements the independence model of Equation (1) of the paper:
+        ``p_i(X) = prod_{x in X} p_i(x)``, evaluated only on the rows that
+        contain every member of ``X``.
+
+        Args:
+            itemset: The items of ``X`` (any iterable; order defines the
+                multiplication order, which matches the row backend).
+
+        Returns:
+            ``(rows, probabilities)``: the sorted transaction indices
+            containing all of ``X`` and the matching per-transaction
+            products.
+
+        >>> from repro.db import UncertainDatabase
+        >>> db = UncertainDatabase.from_records([{1: 0.5, 2: 0.8}, {1: 1.0}])
+        >>> rows, probs = db.columnar().itemset_column((1, 2))
+        >>> rows.tolist(), probs.tolist()
+        ([0], [0.4])
         """
         items = tuple(itemset)
         if not items:
@@ -165,11 +267,39 @@ class ColumnarView:
         return self.itemset_column(itemset)[1]
 
     def expected_support(self, itemset: Iterable[int]) -> float:
-        """Vectorized ``esup(X)``."""
+        """Expected support ``esup(X) = sum_i p_i(X)`` (Definition 1).
+
+        Args:
+            itemset: The items of ``X``.
+
+        Returns:
+            The expected support as a float (one vectorized reduction).
+
+        >>> from repro.db import UncertainDatabase
+        >>> db = UncertainDatabase.from_records([{1: 0.5}, {1: 0.25}])
+        >>> db.columnar().expected_support((1,))
+        0.75
+        """
         return float(self.itemset_column(itemset)[1].sum())
 
     def support_variance(self, itemset: Iterable[int]) -> float:
-        """Vectorized ``Var[sup(X)]``."""
+        """Support variance ``Var[sup(X)] = sum_i p_i(X)(1 - p_i(X))``.
+
+        The per-transaction occurrences are independent Bernoulli trials,
+        so the variance of their sum is the sum of Bernoulli variances —
+        the second moment behind the paper's Normal approximation.
+
+        Args:
+            itemset: The items of ``X``.
+
+        Returns:
+            The variance of the support as a float.
+
+        >>> from repro.db import UncertainDatabase
+        >>> db = UncertainDatabase.from_records([{1: 0.5}, {1: 1.0}])
+        >>> db.columnar().support_variance((1,))
+        0.25
+        """
         probs = self.itemset_column(itemset)[1]
         return float((probs * (1.0 - probs)).sum())
 
@@ -200,7 +330,21 @@ class ColumnarView:
         return [resolve(tuple(candidate)) for candidate in candidates]
 
     def batch_vectors(self, candidates: Sequence[Tuple[int, ...]]) -> List[np.ndarray]:
-        """The compressed probability vectors of a whole candidate level."""
+        """The compressed probability vectors of a whole candidate level.
+
+        Args:
+            candidates: Canonical sorted tuples, typically one Apriori level.
+
+        Returns:
+            One zeros-omitted ``p_i(X)`` vector per candidate, in candidate
+            order (the input every :class:`~repro.core.support.SupportEngine`
+            batch consumes).
+
+        >>> from repro.db import UncertainDatabase
+        >>> db = UncertainDatabase.from_records([{1: 0.5, 2: 0.8}, {2: 1.0}])
+        >>> [v.tolist() for v in db.columnar().batch_vectors([(1,), (2,), (1, 2)])]
+        [[0.5], [0.8, 1.0], [0.4]]
+        """
         return [probs for _, probs in self.batch_columns(candidates)]
 
     def batch_probabilities(self, candidates: Sequence[Tuple[int, ...]]) -> np.ndarray:

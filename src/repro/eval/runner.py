@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.miner import mine
+from ..core.parallel import resolve_shards, resolve_workers
 from ..core.registry import get_algorithm
 from ..core.results import MiningResult
 from ..datasets.registry import load_dataset
@@ -101,13 +102,19 @@ def _mine_point(
     thresholds: Dict[str, float],
     track_memory: bool,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> MiningResult:
     info = get_algorithm(algorithm)
     if resolve_backend(backend) == "columnar":
-        # Warm the shared columnar view outside the instrumented run so its
-        # one-time build cost is not charged to whichever algorithm happens
-        # to mine the database first (the sweep compares algorithms).
+        # Warm the shared columnar view (and, when sharding is requested,
+        # the cached partition) outside the instrumented run so the one-time
+        # build cost is not charged to whichever algorithm happens to mine
+        # the database first (the sweep compares algorithms).
         database.columnar()
+        resolved_shards = resolve_shards(shards, resolve_workers(workers))
+        if resolved_shards > 1:
+            database.partition(resolved_shards)
     kwargs: Dict[str, float] = {}
     if info.family == "expected":
         kwargs["min_esup"] = thresholds.get("min_esup", thresholds.get("min_sup", 0.5))
@@ -119,6 +126,8 @@ def _mine_point(
         algorithm=algorithm,
         track_memory=track_memory,
         backend=backend,
+        workers=workers,
+        shards=shards,
         **kwargs,
     )
 
@@ -127,13 +136,18 @@ def run_experiment(
     spec: ExperimentSpec,
     max_points: Optional[int] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Run the full sweep of ``spec`` and return one row per (algorithm, value).
 
     ``max_points`` truncates the sweep (used by the smoke tests and by
     benchmark quick modes).  ``backend`` selects the probability-evaluation
     engine for every mined point (``"rows"`` / ``"columnar"``; ``None``
-    uses the database default, columnar).
+    uses the database default, columnar).  ``workers`` / ``shards`` engage
+    the partition-parallel engine for every mined point (``None`` consults
+    ``REPRO_WORKERS`` / ``REPRO_SHARDS``); results are byte-identical for
+    any setting, only the timings change.
     """
     values = list(spec.values)
     if max_points is not None:
@@ -149,7 +163,13 @@ def run_experiment(
         thresholds = _thresholds_for(spec, value)
         for algorithm in spec.algorithms:
             result = _mine_point(
-                database, algorithm, thresholds, spec.track_memory, backend
+                database,
+                algorithm,
+                thresholds,
+                spec.track_memory,
+                backend,
+                workers,
+                shards,
             )
             points.append(
                 SweepPoint(
@@ -171,6 +191,8 @@ def run_accuracy_experiment(
     reference_algorithm: str = "dcb",
     max_points: Optional[int] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> List[AccuracyPoint]:
     """Run an accuracy sweep (Tables 8/9): approximate miners vs an exact reference."""
     values = list(spec.values)
@@ -185,9 +207,13 @@ def run_accuracy_experiment(
     for value in values:
         database = shared_database or _build_dataset(spec, value)
         thresholds = _thresholds_for(spec, value)
-        exact = _mine_point(database, reference_algorithm, thresholds, False, backend)
+        exact = _mine_point(
+            database, reference_algorithm, thresholds, False, backend, workers, shards
+        )
         for algorithm in spec.algorithms:
-            approximate = _mine_point(database, algorithm, thresholds, False, backend)
+            approximate = _mine_point(
+                database, algorithm, thresholds, False, backend, workers, shards
+            )
             report = compare_results(approximate, exact)
             points.append(
                 AccuracyPoint(

@@ -1,0 +1,36 @@
+"""Run the documented modules' doctests inside the tier-1 suite.
+
+The CI docs job executes ``python -m doctest`` over the modules that can be
+loaded standalone (no runtime relative imports):
+``src/repro/core/support.py`` and ``src/repro/db/columnar.py``.  This test
+covers those *and* the modules that can only be doctested as package
+members (``repro.core.parallel``, ``repro.db.partition``), so the examples
+stay runnable even when CI is not involved.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.parallel
+import repro.core.support
+import repro.db.columnar
+import repro.db.partition
+
+DOCUMENTED_MODULES = [
+    repro.core.parallel,
+    repro.core.support,
+    repro.db.columnar,
+    repro.db.partition,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCUMENTED_MODULES, ids=lambda module: module.__name__
+)
+def test_module_doctests_pass(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctest examples"
+    assert results.failed == 0
