@@ -1,0 +1,181 @@
+"""Sliding-window maintenance: incremental re-merge vs full re-mining per slide.
+
+The streaming subsystem claims that sliding a window of ``W`` transactions
+by ``k`` arrivals costs ``O(k log W)`` segment-tree bucket merges per
+candidate, against the ``O(W)`` (expected support) / ``O(W * min_count)``
+(exact DP tail) of batch-mining the window contents from scratch.  This
+benchmark measures that claim on the dense regime the claim matters most
+for: a replayed dense stream of ``N >= 2000`` transactions (the same shape
+as the backend/parallel benchmarks) flowing through a half-stream window.
+
+Two workloads, matching the two streaming miners:
+
+* ``uapriori`` — expected-support mining (Definition 2);
+* ``dp`` — exact probabilistic mining (Definition 4), where the batch side
+  pays the full DP recurrence per slide.
+
+Every slide is verified: the incremental frequent set must equal the batch
+frequent set over identical window contents before any timing is reported
+(equivalence is asserted unconditionally; the speedup floor can be relaxed
+with ``REPRO_BENCH_REQUIRE_SPEEDUP=0`` for smoke runs on noisy shared
+runners).  Steady-state slides are timed — the initial window fill and the
+first mining pass (candidate registration) are excluded from both sides,
+mirroring how the backend benchmarks exclude one-time view builds.
+
+Measured quantities land in ``benchmarks/results/bench_stream_window.csv``:
+``{algo}_incremental_seconds``, ``{algo}_batch_seconds`` (totals over the
+timed slides) and ``{algo}_speedup``.
+
+Run with ``pytest benchmarks/bench_stream_window.py -s`` or directly as a
+script.  ``REPRO_STREAM_WINDOW`` / ``REPRO_STREAM_STEP`` /
+``REPRO_STREAM_SLIDES`` shrink the workload (the CI streaming smoke step
+uses a tiny window with 2 slides).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List
+
+from repro.core.miner import mine
+from repro.eval import reporting
+from repro.stream import BATCH_EQUIVALENTS, TransactionStream, make_streaming_miner
+
+from bench_backend_columnar import make_dense_database
+from conftest import RESULTS_DIR, emit
+
+#: replayed stream length (dense regime; >= 2000 at the default scale)
+N_STREAM = max(2000, int(os.environ.get("REPRO_STREAM_LENGTH", "2000")))
+#: sliding window capacity
+WINDOW = int(os.environ.get("REPRO_STREAM_WINDOW", "1000"))
+#: arrivals per slide
+STEP = int(os.environ.get("REPRO_STREAM_STEP", "25"))
+#: timed steady-state slides
+SLIDES = int(os.environ.get("REPRO_STREAM_SLIDES", "12"))
+
+#: thresholds of the two workloads (dense regime of Figures 4/5)
+MIN_ESUP_RATIO = 0.25
+MIN_SUP_RATIO = 0.3
+PFT = 0.9
+
+#: incremental maintenance must beat per-slide full re-mining by this factor
+SPEEDUP_FLOOR = 5.0
+
+#: set REPRO_BENCH_REQUIRE_SPEEDUP=0 to report timings without gating on
+#: them (CI smoke runs on shared runners; frequent-set equivalence is
+#: always asserted regardless)
+REQUIRE_SPEEDUP = os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP", "1").strip() != "0"
+
+#: streaming variant -> shared thresholds; the batch counterpart comes from
+#: the canonical repro.stream.BATCH_EQUIVALENTS mapping
+WORKLOADS = {
+    "uapriori": {"min_esup": MIN_ESUP_RATIO},
+    "dp": {"min_sup": MIN_SUP_RATIO, "pft": PFT},
+}
+
+
+def _itemset_keys(result) -> set:
+    return {record.itemset.items for record in result}
+
+
+def run_benchmark() -> Dict[str, float]:
+    database = make_dense_database(n_transactions=N_STREAM)
+    measurements: Dict[str, float] = {
+        "n_stream": float(len(database)),
+        "window": float(WINDOW),
+        "step": float(STEP),
+        "slides": float(SLIDES),
+    }
+
+    for algorithm, thresholds in WORKLOADS.items():
+        batch_algorithm = BATCH_EQUIVALENTS[algorithm]
+        stream = TransactionStream.from_database(database)
+        miner = make_streaming_miner(algorithm, WINDOW, **thresholds)
+        # Window fill + first mine: one-time candidate registration,
+        # excluded from the steady-state timing.  The batch side keeps
+        # paying its per-slide view build inside the timed region — a
+        # from-scratch re-mine carries no state between slides by design.
+        warm = miner.advance(stream, WINDOW)
+        assert warm is not None, "stream shorter than the window"
+
+        incremental_seconds = 0.0
+        batch_seconds = 0.0
+        slides_run = 0
+        for _ in range(SLIDES):
+            started = time.perf_counter()
+            result = miner.advance(stream, STEP)
+            incremental_seconds += time.perf_counter() - started
+            if result is None:
+                break
+            slides_run += 1
+
+            contents = miner.window.contents()
+            started = time.perf_counter()
+            batch = mine(contents, algorithm=batch_algorithm, **thresholds)
+            batch_seconds += time.perf_counter() - started
+
+            assert _itemset_keys(result) == _itemset_keys(batch), (
+                f"streaming {algorithm} diverged from batch {batch_algorithm} "
+                f"on window [{miner.window.oldest_sequence}, "
+                f"{miner.window.next_sequence})"
+            )
+        assert slides_run > 0, "no slides completed; stream/window sizes inconsistent"
+
+        measurements[f"{algorithm}_slides"] = float(slides_run)
+        measurements[f"{algorithm}_incremental_seconds"] = incremental_seconds
+        measurements[f"{algorithm}_batch_seconds"] = batch_seconds
+        measurements[f"{algorithm}_speedup"] = (
+            batch_seconds / incremental_seconds if incremental_seconds > 0 else float("inf")
+        )
+
+    return measurements
+
+
+class _Point:
+    """Minimal row shim for the shared CSV writer."""
+
+    def __init__(self, payload: Dict[str, float]) -> None:
+        self._payload = payload
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self._payload)
+
+
+def _report(measurements: Dict[str, float]) -> None:
+    rows: List[Dict[str, float]] = [
+        {"measure": key, "value": value} for key, value in measurements.items()
+    ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    reporting.write_csv(
+        [_Point(row) for row in rows], RESULTS_DIR / "bench_stream_window.csv"
+    )
+    emit(
+        "Sliding-window maintenance (incremental vs full re-mine per slide)",
+        reporting.format_table(rows, ["measure", "value"]),
+    )
+
+
+def _assert_speedup(measurements: Dict[str, float]) -> None:
+    if not REQUIRE_SPEEDUP:
+        print("(speedup assertion disabled via REPRO_BENCH_REQUIRE_SPEEDUP=0)")
+        return
+    for algorithm in WORKLOADS:
+        speedup = measurements[f"{algorithm}_speedup"]
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"incremental {algorithm} window maintenance only {speedup:.2f}x "
+            f"faster than per-slide re-mining (floor {SPEEDUP_FLOOR}x): "
+            f"{measurements}"
+        )
+
+
+def test_stream_window_speedup():
+    measurements = run_benchmark()
+    _report(measurements)
+    _assert_speedup(measurements)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    measurements = run_benchmark()
+    _report(measurements)
+    _assert_speedup(measurements)

@@ -22,7 +22,7 @@ Quick start::
         print(record.itemset, record.expected_support)
 """
 
-from . import algorithms, core, datasets, db, eval
+from . import algorithms, core, datasets, db, eval, stream
 from .core import (
     AssociationRule,
     FrequentItemset,
@@ -62,4 +62,5 @@ __all__ = [
     "eval",
     "mine",
     "paper_example_database",
+    "stream",
 ]

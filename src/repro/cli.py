@@ -1,6 +1,6 @@
 """Command line interface: ``repro-mine``.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 ``repro-mine list``
     Show the registered algorithms and datasets.
@@ -12,6 +12,11 @@ Three subcommands cover the common workflows:
 ``repro-mine experiment``
     Run one of the paper's figure/table scenarios and print the resulting
     table.
+
+``repro-mine stream-mine``
+    Replay a dataset as a transaction stream through a sliding window and
+    re-emit the frequent set after every slide (incremental maintenance;
+    ``--verify`` additionally batch-mines each window and checks agreement).
 """
 
 from __future__ import annotations
@@ -25,6 +30,12 @@ from .core.registry import algorithm_names, get_algorithm
 from .datasets.registry import dataset_names, load_dataset
 from .db.io import read_uncertain
 from .eval import reporting, runner, scenarios
+from .stream import (
+    BATCH_EQUIVALENTS,
+    STREAMING_MINERS,
+    TransactionStream,
+    make_streaming_miner,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -75,6 +86,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="probability-evaluation backend (default: columnar)",
     )
     _add_parallel_arguments(experiment_parser)
+
+    stream_parser = subparsers.add_parser(
+        "stream-mine",
+        help="mine a sliding window over a replayed transaction stream",
+    )
+    stream_parser.add_argument(
+        "--algorithm",
+        "-a",
+        choices=sorted(STREAMING_MINERS),
+        default="uapriori",
+        help="streaming miner variant",
+    )
+    stream_parser.add_argument(
+        "--dataset", "-d", default="accident", help="benchmark dataset name or path to an item:probability file"
+    )
+    stream_parser.add_argument("--scale", type=float, default=0.002, help="benchmark scale factor")
+    stream_parser.add_argument("--window", "-w", type=int, default=256, help="sliding window capacity")
+    stream_parser.add_argument("--step", type=int, default=32, help="arrivals per slide")
+    stream_parser.add_argument(
+        "--slides", type=int, default=None, help="stop after this many slides (default: drain the stream)"
+    )
+    stream_parser.add_argument("--min-esup", type=float, default=None, help="minimum expected support (uapriori)")
+    stream_parser.add_argument("--min-sup", type=float, default=None, help="minimum support (dp)")
+    stream_parser.add_argument("--pft", type=float, default=0.9, help="probabilistic frequent threshold (dp)")
+    stream_parser.add_argument("--limit", type=int, default=10, help="print at most this many itemsets per slide")
+    stream_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="batch-mine every window from scratch and check the frequent sets agree",
+    )
+    stream_parser.add_argument(
+        "--backend",
+        choices=["rows", "columnar"],
+        default=None,
+        help="probability-evaluation backend of the --verify batch runs",
+    )
+    _add_parallel_arguments(stream_parser)
     return parser
 
 
@@ -192,6 +240,75 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stream_mine(args: argparse.Namespace) -> int:
+    if args.dataset in dataset_names():
+        database = load_dataset(args.dataset, scale=args.scale)
+    else:
+        database = read_uncertain(args.dataset, name=args.dataset)
+
+    if args.algorithm == "uapriori":
+        options = {"min_esup": args.min_esup if args.min_esup is not None else 0.3}
+    else:
+        options = {
+            "min_sup": args.min_sup if args.min_sup is not None else 0.3,
+            "pft": args.pft,
+        }
+    batch_algorithm, batch_kwargs = BATCH_EQUIVALENTS[args.algorithm], dict(options)
+
+    stream = TransactionStream.from_database(database)
+    miner = make_streaming_miner(args.algorithm, args.window, **options)
+
+    print(
+        f"stream-{args.algorithm}: window={args.window} step={args.step} "
+        f"over {len(database)} replayed transactions"
+    )
+    slide = 0
+    mismatches = 0
+    while args.slides is None or slide <= args.slides:
+        step = args.window if slide == 0 else args.step
+        result = miner.advance(stream, step)
+        if result is None:
+            break
+        statistics = result.statistics
+        line = (
+            f"slide {slide:3d}  [{miner.window.oldest_sequence},"
+            f"{miner.window.next_sequence}): {len(result)} frequent itemsets "
+            f"in {statistics.elapsed_seconds * 1000.0:.2f}ms"
+        )
+        if args.verify:
+            batch = mine(
+                miner.window.contents(),
+                algorithm=batch_algorithm,
+                backend=args.backend,
+                workers=args.workers,
+                shards=args.shards,
+                **batch_kwargs,
+            )
+            matches = {r.itemset.items for r in result} == {
+                r.itemset.items for r in batch
+            }
+            mismatches += not matches
+            line += (
+                f"  (batch {batch.statistics.elapsed_seconds * 1000.0:.2f}ms, "
+                f"{'match' if matches else 'MISMATCH'})"
+            )
+        print(line)
+        for record in result.itemsets[: args.limit]:
+            probability = (
+                f"  Pr={record.frequent_probability:.3f}"
+                if record.frequent_probability is not None
+                else ""
+            )
+            print(f"    {record.itemset.items}  esup={record.expected_support:.2f}{probability}")
+        if len(result) > args.limit:
+            print(f"    ... ({len(result) - args.limit} more)")
+        slide += 1
+    if args.verify and mismatches:
+        print(f"verification FAILED on {mismatches} slides")
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``repro-mine`` console script."""
     args = build_parser().parse_args(argv)
@@ -201,6 +318,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_mine(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "stream-mine":
+        return _command_stream_mine(args)
     return 1
 
 

@@ -188,6 +188,10 @@ def _freeze(value: Any) -> Any:
     return value
 
 
+#: sentinel distinguishing "not cached" from a legitimately cached ``None``
+_CACHE_MISS = object()
+
+
 class ParallelExecutor:
     """Coordinator for one mining run's parallel work.
 
@@ -240,17 +244,48 @@ class ParallelExecutor:
         return len(self._shard_views) if self._shard_views else 0
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down gracefully (idempotent).
+
+        Waits for in-flight tasks to finish; use :meth:`terminate` when the
+        run is being abandoned and outstanding work should be dropped.
+        """
         if self._pool is not None:
             self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Kill the worker pool immediately (idempotent).
+
+        The error-path shutdown: a graceful :meth:`close` would block on
+        whatever tasks are still queued or running, so an exceptional exit
+        tears the pool down instead of waiting for work whose results will
+        never be consumed.
+        """
+        if self._pool is not None:
+            self._pool.terminate()
             self._pool.join()
             self._pool = None
 
     def __enter__(self) -> "ParallelExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        # A mid-mine exception must not leak (or block on) a live pool:
+        # every miner wraps its run in this context manager, so the
+        # exceptional path terminates outstanding work instead of joining it.
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent timing
+        # Safety net for executors abandoned without close(): drop the pool
+        # rather than leaking worker processes until interpreter exit.
+        try:
+            self.terminate()
+        except Exception:
+            pass
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -278,7 +313,11 @@ class ParallelExecutor:
         Results are memoised per ``(shard, method, arguments)`` so repeated
         level evaluations (e.g. an approximate miner re-querying the level
         its inner engine just produced) are served from the coordinator
-        cache.
+        cache.  The cache is a true LRU: a hit refreshes the entry's
+        recency (``move_to_end``), so eviction removes the coldest entry
+        rather than the oldest-inserted (which is typically the hottest),
+        and legitimate ``None`` results are cached like any other value
+        instead of being recomputed on every query.
         """
         if not self._shard_views:
             raise RuntimeError("executor was created without shard views")
@@ -286,9 +325,11 @@ class ParallelExecutor:
         results: List[Any] = [None] * len(self._shard_views)
         missing: List[int] = []
         for index in range(len(self._shard_views)):
-            hit = self._cache.get((index,) + key_suffix) if self._cache_size else None
-            if hit is not None:
+            key = (index,) + key_suffix
+            hit = self._cache.get(key, _CACHE_MISS) if self._cache_size else _CACHE_MISS
+            if hit is not _CACHE_MISS:
                 self.cache_hits += 1
+                self._cache.move_to_end(key)
                 results[index] = hit
             else:
                 missing.append(index)

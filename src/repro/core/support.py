@@ -32,12 +32,14 @@ __all__ = [
     "MergeableSupportStats",
     "SupportDistribution",
     "SupportEngine",
+    "convolve_pmfs",
     "dc_tail_probabilities",
     "exact_pmf_dynamic_programming",
     "exact_pmf_divide_conquer",
     "frequent_probability_dynamic_programming",
     "frequent_probabilities_dp_batch",
     "pack_probability_matrix",
+    "PMF_RENORMALIZE_TOLERANCE",
     "poisson_tail_probability",
     "normal_tail_probability",
     "chernoff_upper_bound",
@@ -84,7 +86,17 @@ def exact_pmf_dynamic_programming(probabilities: Sequence[float]) -> np.ndarray:
     return pmf
 
 
-def _convolve(left: np.ndarray, right: np.ndarray, use_fft: bool) -> np.ndarray:
+def convolve_pmfs(left: np.ndarray, right: np.ndarray, use_fft: bool = True) -> np.ndarray:
+    """Convolve two support PMFs (the merge of independent disjoint row sets).
+
+    The shared kernel of the DC miner, :class:`MergeableSupportStats` and
+    the streaming :class:`~repro.stream.index.IncrementalSupportIndex`.
+    Operands longer than 64 entries go through the FFT when ``use_fft`` is
+    set; shorter ones use exact direct convolution.
+
+    >>> convolve_pmfs(np.array([0.5, 0.5]), np.array([0.5, 0.5])).tolist()
+    [0.25, 0.5, 0.25]
+    """
     if use_fft and (len(left) > 64 or len(right) > 64):
         size = len(left) + len(right) - 1
         fft_size = 1 << (size - 1).bit_length()
@@ -94,6 +106,16 @@ def _convolve(left: np.ndarray, right: np.ndarray, use_fft: bool) -> np.ndarray:
         np.clip(result, 0.0, None, out=result)
         return result
     return np.convolve(left, right)
+
+
+#: historical internal alias, kept for in-repo callers
+_convolve = convolve_pmfs
+
+
+#: relative mass drift beyond which :func:`exact_pmf_divide_conquer`
+#: renormalises its result (drift below this is left untouched so the DC
+#: tails stay directly comparable with the DP recurrence's)
+PMF_RENORMALIZE_TOLERANCE = 1e-9
 
 
 def exact_pmf_divide_conquer(
@@ -108,6 +130,16 @@ def exact_pmf_divide_conquer(
     the strategy behind the paper's DC algorithm — and the same identity the
     partition-parallel :class:`MergeableSupportStats` uses to merge exact
     PMFs across row shards.
+
+    Negative FFT round-off is always clipped away, but the total mass is
+    renormalised only when it drifts from 1 by more than
+    :data:`PMF_RENORMALIZE_TOLERANCE`.  An unconditional renormalisation
+    would silently mask genuine FFT accuracy loss *and* perturb every entry
+    of well-conditioned results, making DC tails disagree with DP tails by
+    far more than the convolution round-off itself; with the tolerance gate
+    the two exact methods agree within 1e-12 on dense inputs (pinned by the
+    regression tests) while a pathologically drifted PMF still gets
+    repaired.
 
     Args:
         probabilities: Per-transaction occurrence probabilities ``p_i(X)``.
@@ -130,12 +162,11 @@ def exact_pmf_divide_conquer(
             p = float(chunk[0])
             return np.array([1.0 - p, p])
         middle = len(chunk) // 2
-        return _convolve(_recurse(chunk[:middle]), _recurse(chunk[middle:]), use_fft)
+        return convolve_pmfs(_recurse(chunk[:middle]), _recurse(chunk[middle:]), use_fft)
 
     pmf = _recurse(probabilities)
-    # Normalise away accumulated floating point drift.
     total = pmf.sum()
-    if total > 0:
+    if total > 0 and abs(total - 1.0) > PMF_RENORMALIZE_TOLERANCE:
         pmf = pmf / total
     return pmf
 

@@ -55,6 +55,20 @@ class UncertainTransaction:
     def __post_init__(self) -> None:
         object.__setattr__(self, "units", _validated_units(self.units))
 
+    @classmethod
+    def restamp(cls, tid: int, source: "UncertainTransaction") -> "UncertainTransaction":
+        """A copy of ``source`` under a new tid, skipping re-validation.
+
+        ``source``'s units were validated when it was constructed, so the
+        copy can share them; the streaming layer uses this to re-stamp
+        replayed transactions with their arrival sequence ids without
+        paying a per-unit validation pass per arrival.
+        """
+        clone = object.__new__(cls)
+        object.__setattr__(clone, "tid", int(tid))
+        object.__setattr__(clone, "units", source.units)
+        return clone
+
     # -- basic container behaviour -------------------------------------------------
     def __len__(self) -> int:
         return len(self.units)

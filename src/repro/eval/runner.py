@@ -9,6 +9,8 @@ and result size, the uniform measures of the paper.
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -18,10 +20,19 @@ from ..core.registry import get_algorithm
 from ..core.results import MiningResult
 from ..datasets.registry import load_dataset
 from ..db.database import UncertainDatabase, resolve_backend
+from ..stream import BATCH_EQUIVALENTS, TransactionStream, make_streaming_miner
 from .metrics import compare_results
-from .scenarios import ExperimentSpec
+from .scenarios import ExperimentSpec, StreamingScenario
 
-__all__ = ["SweepPoint", "AccuracyPoint", "run_experiment", "run_accuracy_experiment"]
+__all__ = [
+    "SweepPoint",
+    "AccuracyPoint",
+    "StreamPoint",
+    "BATCH_EQUIVALENTS",
+    "run_experiment",
+    "run_accuracy_experiment",
+    "run_streaming_scenario",
+]
 
 
 @dataclass(frozen=True)
@@ -71,6 +82,34 @@ class AccuracyPoint:
             "value": self.value,
             "precision": self.precision,
             "recall": self.recall,
+        }
+
+
+@dataclass(frozen=True)
+class StreamPoint:
+    """One slide of a streaming scenario: timing and (optionally) verification."""
+
+    scenario_id: str
+    dataset: str
+    algorithm: str
+    slide: int
+    window_fill: int
+    n_itemsets: int
+    elapsed_seconds: float
+    batch_seconds: float = math.nan
+    matches_batch: Optional[bool] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario_id": self.scenario_id,
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "slide": self.slide,
+            "window_fill": self.window_fill,
+            "n_itemsets": self.n_itemsets,
+            "elapsed_seconds": self.elapsed_seconds,
+            "batch_seconds": self.batch_seconds,
+            "matches_batch": "" if self.matches_batch is None else self.matches_batch,
         }
 
 
@@ -183,6 +222,71 @@ def run_experiment(
                     n_itemsets=len(result),
                 )
             )
+    return points
+
+
+def run_streaming_scenario(
+    spec: StreamingScenario,
+    verify: bool = False,
+    max_slides: Optional[int] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+) -> List[StreamPoint]:
+    """Replay ``spec``'s dataset through a sliding window and mine every slide.
+
+    The dataset's transactions become the arrival stream; the first point is
+    the initial window fill, subsequent points are slides of ``spec.step``
+    arrivals.  With ``verify=True`` every slide is additionally batch-mined
+    from scratch over the window contents (``BATCH_EQUIVALENTS`` names the
+    static counterpart; ``backend``/``workers``/``shards`` parameterise that
+    batch run), recording the batch wall-clock and whether the frequent sets
+    agree — the incremental-vs-recompute comparison of the windowed
+    benchmark, available on live scenarios.
+    """
+    database = load_dataset(spec.dataset, **spec.dataset_kwargs)
+    stream = TransactionStream.from_database(database)
+    miner = make_streaming_miner(spec.algorithm, spec.window, **spec.thresholds)
+
+    slides = spec.max_slides if max_slides is None else min(spec.max_slides, max_slides)
+    points: List[StreamPoint] = []
+    for slide in range(slides + 1):
+        step = spec.window if slide == 0 else spec.step
+        result = miner.advance(stream, step)
+        if result is None:
+            break
+        batch_seconds = math.nan
+        matches: Optional[bool] = None
+        if verify:
+            contents = miner.window.contents()
+            batch_algorithm = BATCH_EQUIVALENTS[spec.algorithm]
+            started = time.perf_counter()
+            batch = _mine_point(
+                contents,
+                batch_algorithm,
+                dict(spec.thresholds),
+                False,
+                backend,
+                workers,
+                shards,
+            )
+            batch_seconds = time.perf_counter() - started
+            matches = {r.itemset.items for r in result} == {
+                r.itemset.items for r in batch
+            }
+        points.append(
+            StreamPoint(
+                scenario_id=spec.scenario_id,
+                dataset=spec.dataset,
+                algorithm=spec.algorithm,
+                slide=slide,
+                window_fill=len(miner.window),
+                n_itemsets=len(result),
+                elapsed_seconds=result.statistics.elapsed_seconds,
+                batch_seconds=batch_seconds,
+                matches_batch=matches,
+            )
+        )
     return points
 
 

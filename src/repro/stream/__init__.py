@@ -1,0 +1,43 @@
+"""Sliding-window streaming layer: live ingest over the static mining stack.
+
+The batch library mines a fixed :class:`~repro.db.database.UncertainDatabase`;
+this package mines the *most recent* ``W`` transactions of an unbounded
+arrival stream, re-emitting the frequent set after every slide:
+
+* :mod:`repro.stream.window` — :class:`TransactionStream` (arrival-ordered,
+  sequence-id-stamped transactions) and :class:`SlidingWindow` (ring-buffer
+  window with stable slots; append + evict in O(1), change records per
+  slide).
+* :mod:`repro.stream.index` — :class:`IncrementalSupportIndex`, a segment
+  tree of mergeable support buckets per candidate; a slide re-merges only
+  O(k log W) tree nodes (moments by addition, exact PMFs by convolution —
+  the :class:`~repro.core.support.MergeableSupportStats` algebra applied to
+  window slots instead of row shards).
+* :mod:`repro.stream.miners` — :class:`StreamingUApriori` (Definition 2)
+  and :class:`StreamingDP` (Definition 4), level-wise Apriori searches fed
+  by the index; their per-slide frequent sets match batch-mining the same
+  window contents.
+"""
+
+from .index import IncrementalSupportIndex
+from .miners import (
+    BATCH_EQUIVALENTS,
+    STREAMING_MINERS,
+    StreamingDP,
+    StreamingMiner,
+    StreamingUApriori,
+    make_streaming_miner,
+)
+from .window import SlidingWindow, TransactionStream
+
+__all__ = [
+    "BATCH_EQUIVALENTS",
+    "IncrementalSupportIndex",
+    "STREAMING_MINERS",
+    "SlidingWindow",
+    "StreamingDP",
+    "StreamingMiner",
+    "StreamingUApriori",
+    "TransactionStream",
+    "make_streaming_miner",
+]

@@ -18,12 +18,16 @@ import repro.core.parallel
 import repro.core.support
 import repro.db.columnar
 import repro.db.partition
+import repro.stream.index
+import repro.stream.window
 
 DOCUMENTED_MODULES = [
     repro.core.parallel,
     repro.core.support,
     repro.db.columnar,
     repro.db.partition,
+    repro.stream.index,
+    repro.stream.window,
 ]
 
 

@@ -318,3 +318,108 @@ class TestResolution:
         result = mine(database, algorithm="uapriori", min_esup=0.3, workers=1, shards=2)
         assert result.statistics.notes["workers"] == 1.0
         assert result.statistics.notes["shards"] == 2.0
+
+
+class TestShardResultCacheLru:
+    """The coordinator cache is a true LRU and can hold legitimate ``None``s."""
+
+    class _Shard:
+        """Duck-typed shard counting how often each method is evaluated."""
+
+        def __init__(self):
+            self.calls = 0
+
+        def answer(self, payload):
+            self.calls += 1
+            return payload
+
+        def nothing(self):
+            self.calls += 1
+            return None
+
+    def test_hit_refreshes_recency(self):
+        shard = self._Shard()
+        # cache_size bounds entries at cache_size * n_shards = 2.
+        with ParallelExecutor(
+            workers=1, shard_views=[shard], cache_size=2
+        ) as executor:
+            executor.map_shard_method("answer", "a")  # cache: [a]
+            executor.map_shard_method("answer", "b")  # cache: [a, b]
+            executor.map_shard_method("answer", "a")  # hit refreshes a: [b, a]
+            assert executor.cache_hits == 1
+            executor.map_shard_method("answer", "c")  # evicts b (LRU), not a
+            assert executor.map_shard_method("answer", "a") == ["a"]
+            assert executor.cache_hits == 2  # a stayed resident
+            assert shard.calls == 3  # a, b, c computed once each
+
+    def test_fifo_regression_hot_entry_survives(self):
+        # The pre-fix FIFO behaviour evicted the oldest *inserted* entry even
+        # when it was the hottest; with move_to_end the repeatedly-queried
+        # entry survives an arbitrary number of cold insertions.
+        shard = self._Shard()
+        with ParallelExecutor(
+            workers=1, shard_views=[shard], cache_size=2
+        ) as executor:
+            executor.map_shard_method("answer", "hot")
+            for cold in range(5):
+                executor.map_shard_method("answer", f"cold-{cold}")
+                executor.map_shard_method("answer", "hot")
+            # hot: 1 computation + 5 hits; cold: 5 computations.
+            assert shard.calls == 6
+            assert executor.cache_hits == 5
+
+    def test_none_results_are_cached(self):
+        shard = self._Shard()
+        with ParallelExecutor(
+            workers=1, shard_views=[shard], cache_size=4
+        ) as executor:
+            assert executor.map_shard_method("nothing") == [None]
+            assert executor.map_shard_method("nothing") == [None]
+            assert shard.calls == 1  # the None was served from the cache
+            assert executor.cache_hits == 1
+
+
+class TestExecutorLifecycle:
+    """A mid-mine exception must not leak (or block on) a live worker pool."""
+
+    def test_exception_terminates_pool(self):
+        executor = ParallelExecutor(workers=2)
+        with pytest.raises(RuntimeError):
+            with executor:
+                executor._ensure_pool()
+                assert executor._pool is not None
+                raise RuntimeError("mid-mine failure")
+        assert executor._pool is None
+
+    def test_clean_exit_closes_pool(self):
+        with ParallelExecutor(workers=2) as executor:
+            executor._ensure_pool()
+            assert executor._pool is not None
+        assert executor._pool is None
+
+    def test_terminate_and_close_are_idempotent(self):
+        executor = ParallelExecutor(workers=2)
+        executor._ensure_pool()
+        executor.terminate()
+        executor.terminate()
+        executor.close()
+        assert executor._pool is None
+
+    def test_failing_miner_does_not_leak_pool_processes(self, monkeypatch):
+        import multiprocessing
+
+        from repro.algorithms.uapriori import UApriori
+
+        database = make_random_database(n_transactions=24, n_items=5, seed=71)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("evaluator blew up mid-mine")
+
+        miner = UApriori(workers=2, shards=2)
+        monkeypatch.setattr(miner, "_evaluate_level_columnar", explode)
+        with pytest.raises(RuntimeError):
+            miner.mine(database, min_esup=0.1)
+        # The executor context manager tore the pool down on the error path.
+        for process in multiprocessing.active_children():
+            process.join(timeout=5)
+        assert not multiprocessing.active_children()

@@ -1,0 +1,271 @@
+"""Streaming miners vs their batch counterparts over identical window contents.
+
+The acceptance property of the streaming subsystem: after every slide, the
+streaming miner's frequent set equals batch-mining the resident window
+with the corresponding static algorithm.  On *dyadic* streams — every
+probability an exact binary fraction, so all products, sums, convolutions
+and DP recurrences are exact in floating point — the equality is pinned
+**byte-identically**, including expected supports, variances and frequent
+probabilities.  On arbitrary-probability streams the frequent sets still
+match exactly and the statistics agree within convolution round-off.
+"""
+
+import random
+
+import pytest
+
+from repro.core.miner import mine
+from repro.eval import runner, scenarios
+from repro.stream import (
+    STREAMING_MINERS,
+    StreamingDP,
+    StreamingUApriori,
+    TransactionStream,
+    make_streaming_miner,
+)
+
+#: probabilities that are exact binary fractions with tiny numerators:
+#: every quantity either miner derives from them is exact in a double
+DYADIC_CHOICES = (0.25, 0.5, 0.75, 1.0)
+
+
+def dyadic_records(n, n_items=6, density=0.5, seed=3):
+    rng = random.Random(seed)
+    return [
+        {
+            item: rng.choice(DYADIC_CHOICES)
+            for item in range(n_items)
+            if rng.random() < density
+        }
+        for _ in range(n)
+    ]
+
+
+def general_records(n, n_items=7, density=0.45, seed=9):
+    rng = random.Random(seed)
+    return [
+        {
+            item: round(rng.uniform(0.05, 1.0), 3)
+            for item in range(n_items)
+            if rng.random() < density
+        }
+        for _ in range(n)
+    ]
+
+
+def full_key(result):
+    """Every record's complete statistics — equality means byte-identity."""
+    return sorted(
+        (
+            record.itemset.items,
+            record.expected_support,
+            record.variance,
+            record.frequent_probability,
+        )
+        for record in result
+    )
+
+
+def itemset_key(result):
+    return {record.itemset.items for record in result}
+
+
+class TestDyadicByteIdentity:
+    """Streaming results byte-identical to batch mining the window contents."""
+
+    def test_streaming_uapriori_matches_batch_bitwise(self):
+        stream = TransactionStream.from_records(dyadic_records(120))
+        miner = StreamingUApriori(24, min_esup=0.25)
+        assert miner.advance(stream, 24) is not None
+        slides = 0
+        for result in miner.results(stream, step=5, max_slides=12):
+            batch = mine(miner.window.contents(), algorithm="uapriori", min_esup=0.25)
+            assert full_key(result) == full_key(batch)
+            slides += 1
+        assert slides == 12
+
+    def test_streaming_uapriori_variance_matches_batch_bitwise(self):
+        stream = TransactionStream.from_records(dyadic_records(100, seed=8))
+        miner = StreamingUApriori(20, min_esup=0.3, track_variance=True)
+        miner.advance(stream, 20)
+        for result in miner.results(stream, step=7, max_slides=8):
+            batch = mine(
+                miner.window.contents(),
+                algorithm="uapriori",
+                min_esup=0.3,
+                track_variance=True,
+            )
+            assert full_key(result) == full_key(batch)
+
+    @pytest.mark.parametrize("batch_algorithm", ["dpnb", "dpb"])
+    def test_streaming_dp_matches_batch_bitwise(self, batch_algorithm):
+        stream = TransactionStream.from_records(dyadic_records(120))
+        miner = StreamingDP(24, min_sup=0.25, pft=0.6)
+        assert miner.advance(stream, 24) is not None
+        slides = 0
+        for result in miner.results(stream, step=5, max_slides=12):
+            batch = mine(
+                miner.window.contents(),
+                algorithm=batch_algorithm,
+                min_sup=0.25,
+                pft=0.6,
+            )
+            assert full_key(result) == full_key(batch)
+            slides += 1
+        assert slides == 12
+
+    def test_partial_window_matches_batch(self):
+        # Before the window first fills, thresholds resolve against the
+        # resident count — exactly like batch-mining the partial contents.
+        stream = TransactionStream.from_records(dyadic_records(40, seed=6))
+        miner = StreamingUApriori(32, min_esup=0.25)
+        result = miner.advance(stream, 10)  # 10 of 32 slots filled
+        assert len(miner.window) == 10
+        batch = mine(miner.window.contents(), algorithm="uapriori", min_esup=0.25)
+        assert full_key(result) == full_key(batch)
+
+
+class TestGeneralStreams:
+    """Arbitrary probabilities: frequent sets equal, statistics within 1e-11."""
+
+    def test_streaming_dp_tracks_batch_over_long_replay(self):
+        stream = TransactionStream.from_records(general_records(500))
+        miner = StreamingDP(60, min_sup=0.2, pft=0.7)
+        miner.advance(stream, 60)
+        slides = 0
+        for result in miner.results(stream, step=7, max_slides=30):
+            batch = mine(
+                miner.window.contents(), algorithm="dpb", min_sup=0.2, pft=0.7
+            )
+            assert itemset_key(result) == itemset_key(batch)
+            for record in result:
+                reference = batch[record.itemset.items]
+                assert record.frequent_probability == pytest.approx(
+                    reference.frequent_probability, abs=1e-11
+                )
+                assert record.expected_support == pytest.approx(
+                    reference.expected_support, rel=1e-12
+                )
+            slides += 1
+        assert slides == 30
+
+    def test_streaming_uapriori_tracks_batch_on_fft_sized_window(self):
+        # A window above the FFT cutoff exercises the spectrum-domain PMF
+        # levels of any DP queries; UApriori only needs the moment trees.
+        stream = TransactionStream.from_records(general_records(600, seed=21))
+        miner = StreamingUApriori(150, min_esup=0.2)
+        miner.advance(stream, 150)
+        for result in miner.results(stream, step=30, max_slides=10):
+            batch = mine(miner.window.contents(), algorithm="uapriori", min_esup=0.2)
+            assert itemset_key(result) == itemset_key(batch)
+
+    def test_stream_exhaustion_returns_none(self):
+        stream = TransactionStream.from_records(general_records(50))
+        miner = StreamingUApriori(40, min_esup=0.3)
+        assert miner.advance(stream, 40) is not None
+        assert miner.advance(stream, 10) is not None
+        assert miner.advance(stream, 10) is None  # stream dry, window unchanged
+
+
+class TestStreamingFactory:
+    def test_known_variants(self):
+        assert set(STREAMING_MINERS) == {"uapriori", "dp"}
+        miner = make_streaming_miner("uapriori", 8, min_esup=0.5)
+        assert isinstance(miner, StreamingUApriori)
+        miner = make_streaming_miner("dp", 8, min_sup=0.5, pft=0.8)
+        assert isinstance(miner, StreamingDP)
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(KeyError):
+            make_streaming_miner("uh-mine", 8)
+
+
+class TestStreamingScenarios:
+    def test_scenarios_are_well_formed(self):
+        specs = scenarios.streaming_scenarios()
+        assert len(specs) >= 4
+        for spec in specs:
+            assert spec.algorithm in STREAMING_MINERS
+            assert spec.window > spec.step > 0
+
+    def test_runner_verifies_against_batch(self):
+        spec = scenarios.StreamingScenario(
+            scenario_id="stream-test",
+            title="tiny accident replay",
+            dataset="accident",
+            algorithm="dp",
+            window=80,
+            step=20,
+            max_slides=2,
+            dataset_kwargs={"scale": 0.0005},
+            thresholds={"min_sup": 0.3, "pft": 0.9},
+        )
+        points = runner.run_streaming_scenario(spec, verify=True)
+        assert len(points) == 3  # initial fill + 2 slides
+        assert all(point.matches_batch for point in points)
+        assert all(point.window_fill == 80 for point in points)
+
+    def test_runner_without_verification_leaves_batch_fields_empty(self):
+        spec = scenarios.streaming_scenarios(scale=0.0005)[0]
+        points = runner.run_streaming_scenario(spec, max_slides=1)
+        assert points
+        assert points[0].matches_batch is None
+
+
+class TestStreamMineCli:
+    def test_stream_mine_with_verification(self, capsys):
+        from repro.cli import main
+
+        exit_code = main(
+            [
+                "stream-mine",
+                "--algorithm",
+                "dp",
+                "--dataset",
+                "accident",
+                "--scale",
+                "0.0005",
+                "--window",
+                "60",
+                "--step",
+                "20",
+                "--slides",
+                "2",
+                "--min-sup",
+                "0.3",
+                "--verify",
+                "--limit",
+                "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "stream-dp" in captured.out
+        assert "match" in captured.out
+        assert "MISMATCH" not in captured.out
+
+    def test_stream_mine_uapriori_runs(self, capsys):
+        from repro.cli import main
+
+        exit_code = main(
+            [
+                "stream-mine",
+                "-a",
+                "uapriori",
+                "-d",
+                "accident",
+                "--scale",
+                "0.0005",
+                "--window",
+                "50",
+                "--step",
+                "25",
+                "--slides",
+                "1",
+                "--min-esup",
+                "0.3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "slide   0" in captured.out

@@ -215,3 +215,67 @@ class TestSupportDistribution:
     def test_pmf_as_dict_drops_negligible_entries(self):
         distribution = SupportDistribution([1.0, 1.0])
         assert distribution.pmf_as_dict() == {2: pytest.approx(1.0)}
+
+
+class TestDivideConquerRenormalization:
+    """DC's renormalisation is tolerance-gated, keeping DC and DP tails aligned.
+
+    An unconditional renormalisation silently masked FFT drift *and*
+    perturbed well-conditioned PMFs, so the DC tail of a candidate could
+    differ from the DP tail by more than the convolution round-off itself.
+    """
+
+    def test_dc_and_dp_tails_agree_within_1e12_on_dense_inputs(self):
+        from repro.core.support import (
+            frequent_probabilities_dp_batch,
+            pack_probability_matrix,
+        )
+
+        rng = np.random.default_rng(17)
+        # Dense regime: 300 transactions, occurrence probabilities in
+        # [0.3, 1.0) — the FFT path engages (> 64 entries per half).
+        vectors = [rng.uniform(0.3, 1.0, size=300) for _ in range(8)]
+        for min_count in (1, 60, 150, 250):
+            dp = frequent_probabilities_dp_batch(
+                pack_probability_matrix(vectors), min_count
+            )
+            dc = np.array(
+                [
+                    float(exact_pmf_divide_conquer(vector)[min_count:].sum())
+                    for vector in vectors
+                ]
+            )
+            assert np.max(np.abs(dp - dc)) <= 1e-12
+
+    def test_well_conditioned_pmf_is_not_perturbed(self):
+        # Direct (non-FFT) convolution of exact dyadic probabilities is
+        # exact; renormalising would divide every entry by a sum a few ulps
+        # off 1.0 and destroy that exactness.
+        pmf = exact_pmf_divide_conquer([0.5, 0.25, 0.75, 0.5])
+        reference = exact_pmf_dynamic_programming([0.5, 0.25, 0.75, 0.5])
+        assert np.array_equal(pmf, reference)
+
+    def test_negatives_are_clipped(self):
+        rng = np.random.default_rng(5)
+        pmf = exact_pmf_divide_conquer(rng.uniform(0.0, 1.0, size=400))
+        assert np.all(pmf >= 0.0)
+
+    def test_large_drift_still_renormalises(self, monkeypatch):
+        import repro.core.support as support_module
+
+        original = support_module.convolve_pmfs
+
+        def drifting(left, right, use_fft=True):
+            return original(left, right, use_fft) * 1.001
+
+        monkeypatch.setattr(support_module, "convolve_pmfs", drifting)
+        pmf = support_module.exact_pmf_divide_conquer(np.full(8, 0.5))
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_total_mass_stays_within_tolerance_of_one(self):
+        from repro.core.support import PMF_RENORMALIZE_TOLERANCE
+
+        rng = np.random.default_rng(23)
+        for length in (10, 100, 500):
+            pmf = exact_pmf_divide_conquer(rng.uniform(0.0, 1.0, size=length))
+            assert abs(pmf.sum() - 1.0) <= PMF_RENORMALIZE_TOLERANCE
