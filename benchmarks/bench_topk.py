@@ -1,0 +1,175 @@
+"""Top-k ranked mining: threshold-raising pruning vs mine-then-truncate.
+
+The top-k subsystem claims that when ``k << |F|`` the dynamically raised
+support floor (the running k-th best score) prunes the level-wise search
+far below what any fixed threshold can: the searcher only descends into
+subtrees whose anti-monotone bound still beats the current k-th best,
+while a mine-then-truncate consumer has to pick a threshold generous
+enough to be sure of covering the top k — and then pays for the entire
+frequent set above it.
+
+This benchmark measures that claim on the paper's dense regime (the same
+``N >= 2000``, 24-item synthetic database as the backend and streaming
+benchmarks), at ``k = 10``, under both rankings:
+
+* ``esup`` — Definition 2 ordering; the truncate baseline is a full
+  UApriori run at ``min_esup = 0.05`` (|F| ~ 300 itemsets, so k << |F|);
+* ``dp`` — Definition 4 ordering at ``min_sup = 0.125``; the truncate
+  baseline is a full DPB run at ``pft = 1e-4`` (|F| >> k again).
+
+Every run is verified before any timing is reported: the top-k result must
+equal the baseline's truncation exactly (ranked itemsets *and* scores),
+and the k-th best score must clear the baseline's threshold — the coverage
+condition under which truncating the threshold mine provably equals
+threshold-free top-k.
+
+Measured quantities land in ``benchmarks/results/bench_topk.csv``:
+``{algo}_topk_seconds``, ``{algo}_truncate_seconds`` and
+``{algo}_speedup``.  The acceptance floor is a >= 3x speedup for both
+rankings (relax with ``REPRO_BENCH_REQUIRE_SPEEDUP=0`` on noisy shared
+runners; equivalence is asserted unconditionally).
+
+Run with ``pytest benchmarks/bench_topk.py -s`` or directly as a script.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List
+
+from repro.core.miner import mine
+from repro.core.topk import mine_topk, truncate_result
+from repro.eval import reporting
+
+from bench_backend_columnar import make_dense_database
+from conftest import RESULTS_DIR, emit
+
+#: dense regime: the acceptance floor is 2000 transactions
+N_TRANSACTIONS = max(2000, int(os.environ.get("REPRO_TOPK_LENGTH", "2000")))
+#: how many itemsets the ranked workload asks for
+K = int(os.environ.get("REPRO_TOPK_K", "10"))
+
+#: top-k with the raised floor must beat mine-then-truncate by this factor
+SPEEDUP_FLOOR = 3.0
+
+#: set REPRO_BENCH_REQUIRE_SPEEDUP=0 to report timings without gating on
+#: them (equivalence is always asserted regardless)
+REQUIRE_SPEEDUP = os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP", "1").strip() != "0"
+
+#: per-ranking workload: the top-k evaluator plus the threshold the
+#: truncate baseline mines at (generous enough that k << |F| while still
+#: provably covering the top k — asserted at run time)
+WORKLOADS = {
+    "esup": {
+        "algorithm": "uapriori",
+        "topk_kwargs": {},
+        "baseline_kwargs": {"min_esup": 0.05},
+        "ranking": "esup",
+    },
+    "dp": {
+        "algorithm": "dpb",
+        "topk_kwargs": {"min_sup": 0.125},
+        "baseline_kwargs": {"min_sup": 0.125, "pft": 1e-4},
+        "ranking": "probability",
+    },
+}
+
+
+def run_benchmark() -> Dict[str, float]:
+    database = make_dense_database(n_transactions=N_TRANSACTIONS)
+    database.columnar()  # shared one-time view build, excluded from both sides
+    measurements: Dict[str, float] = {
+        "n_transactions": float(len(database)),
+        "k": float(K),
+    }
+
+    for label, workload in WORKLOADS.items():
+        algorithm = workload["algorithm"]
+
+        started = time.perf_counter()
+        topk = mine_topk(database, K, algorithm=algorithm, **workload["topk_kwargs"])
+        topk_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        full = mine(database, algorithm=algorithm, **workload["baseline_kwargs"])
+        truncated = truncate_result(full, K, workload["ranking"])
+        truncate_seconds = time.perf_counter() - started
+
+        # Coverage: with the k-th best score above the baseline's threshold,
+        # truncating the threshold mine provably equals threshold-free top-k
+        # — only then is the equality check (and the timing) meaningful.
+        kth_score = min(topk.scores())
+        if workload["ranking"] == "esup":
+            threshold = workload["baseline_kwargs"]["min_esup"] * len(database)
+        else:
+            threshold = workload["baseline_kwargs"]["pft"]
+        assert kth_score > threshold, (
+            f"{label}: k-th best score {kth_score} does not clear the baseline "
+            f"threshold {threshold}; the truncate baseline is not a valid oracle"
+        )
+        assert len(full) >= 10 * K, (
+            f"{label}: |F| = {len(full)} is not >> k = {K}; "
+            "the workload does not exercise the pruning regime"
+        )
+        assert topk.ranked_keys() == truncated.ranked_keys(), (
+            f"top-k {label} diverged from mine-then-truncate: "
+            f"{topk.ranked_keys()} vs {truncated.ranked_keys()}"
+        )
+
+        measurements[f"{label}_full_itemsets"] = float(len(full))
+        measurements[f"{label}_topk_seconds"] = topk_seconds
+        measurements[f"{label}_truncate_seconds"] = truncate_seconds
+        measurements[f"{label}_speedup"] = (
+            truncate_seconds / topk_seconds if topk_seconds > 0 else float("inf")
+        )
+
+    return measurements
+
+
+class _Point:
+    """Minimal row shim for the shared CSV writer."""
+
+    def __init__(self, payload: Dict[str, float]) -> None:
+        self._payload = payload
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self._payload)
+
+
+def _report(measurements: Dict[str, float]) -> None:
+    rows: List[Dict[str, float]] = [
+        {"measure": key, "value": value} for key, value in measurements.items()
+    ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    reporting.write_csv(
+        [_Point(row) for row in rows], RESULTS_DIR / "bench_topk.csv"
+    )
+    emit(
+        "Top-k ranked mining (threshold-raising pruning vs mine-then-truncate)",
+        reporting.format_table(rows, ["measure", "value"]),
+    )
+
+
+def _assert_speedup(measurements: Dict[str, float]) -> None:
+    if not REQUIRE_SPEEDUP:
+        print("(speedup assertion disabled via REPRO_BENCH_REQUIRE_SPEEDUP=0)")
+        return
+    for label in WORKLOADS:
+        speedup = measurements[f"{label}_speedup"]
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"top-k {label} only {speedup:.2f}x faster than mine-then-truncate "
+            f"at k={K} (floor {SPEEDUP_FLOOR}x): {measurements}"
+        )
+
+
+def test_topk_speedup():
+    measurements = run_benchmark()
+    _report(measurements)
+    _assert_speedup(measurements)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    measurements = run_benchmark()
+    _report(measurements)
+    _assert_speedup(measurements)

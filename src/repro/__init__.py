@@ -30,11 +30,13 @@ from .core import (
     MiningResult,
     MiningStatistics,
     SupportDistribution,
+    TopKResult,
     algorithm_names,
     algorithms_in_family,
     closed_itemsets,
     derive_rules,
     mine,
+    mine_topk,
 )
 from .db import DatabaseBuilder, UncertainDatabase, UncertainTransaction, paper_example_database
 
@@ -48,6 +50,7 @@ __all__ = [
     "MiningResult",
     "MiningStatistics",
     "SupportDistribution",
+    "TopKResult",
     "UncertainDatabase",
     "UncertainTransaction",
     "__version__",
@@ -61,6 +64,7 @@ __all__ = [
     "db",
     "eval",
     "mine",
+    "mine_topk",
     "paper_example_database",
     "stream",
 ]

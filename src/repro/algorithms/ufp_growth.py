@@ -137,7 +137,9 @@ class UFPGrowth(ExpectedSupportMiner):
         considered equal for node sharing.  The reference implementation
         compares raw floats (effectively no rounding); a smaller precision
         increases sharing at the cost of approximating expected supports,
-        which is exposed here only for the ablation benchmarks.
+        which is exposed here only for the ablation benchmarks.  Rounded
+        values are clamped into ``(0, 1]`` so rounding can never silently
+        delete a unit (or merge a sub-grid probability with zero).
     track_variance:
         Also report the support variance of every frequent itemset.
         Variance requires per-path bookkeeping identical to the expected
@@ -158,14 +160,33 @@ class UFPGrowth(ExpectedSupportMiner):
         super().__init__(
             track_memory=track_memory, backend=backend, workers=workers, shards=shards
         )
+        if probability_precision is not None and probability_precision < 1:
+            # At precision 0 the rounding grid is the whole unit interval:
+            # every probability would clamp to 1.0, silently making the
+            # database certain.
+            raise ValueError(
+                f"probability_precision must be >= 1 (or None), got {probability_precision}"
+            )
         self.probability_precision = probability_precision
         self.track_variance = track_variance
 
     # -- helpers -----------------------------------------------------------------------
     def _rounded(self, probability: float) -> float:
+        """Round for node sharing, clamped into ``(0, 1]``.
+
+        A bare ``round`` can push an existential probability outside the
+        meaningful range: a unit below half the precision grid rounds to
+        ``0.0`` — silently deleting the unit from the tree and shrinking
+        every expected support its path contributes to — so such values are
+        clamped up to the smallest grid step instead, keeping the rounding
+        error per unit below ``10**-precision`` (UFP-growth then still
+        agrees with UApriori within that tolerance, pinned by the tests).
+        """
         if self.probability_precision is None:
             return probability
-        return round(probability, self.probability_precision)
+        rounded = round(probability, self.probability_precision)
+        grid_step = 10.0 ** -self.probability_precision
+        return min(max(rounded, grid_step), 1.0)
 
     def _build_global_tree(
         self,

@@ -1,6 +1,6 @@
 """Command line interface: ``repro-mine``.
 
-Four subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 ``repro-mine list``
     Show the registered algorithms and datasets.
@@ -8,6 +8,12 @@ Four subcommands cover the common workflows:
 ``repro-mine mine``
     Mine a benchmark dataset (or an ``item:probability`` text file) with one
     algorithm and print the frequent itemsets.
+
+``repro-mine mine-topk``
+    Mine the k highest-ranked itemsets (expected-support or frequentness-
+    probability ranking) with threshold-raising pruning; ``--verify``
+    additionally mines everything through the corresponding threshold miner,
+    truncates, and checks the two agree.
 
 ``repro-mine experiment``
     Run one of the paper's figure/table scenarios and print the resulting
@@ -27,6 +33,12 @@ from typing import List, Optional
 
 from .core.miner import mine
 from .core.registry import algorithm_names, get_algorithm
+from .core.topk import (
+    mine_topk,
+    ranking_of,
+    resolve_evaluator,
+    truncation_baseline,
+)
 from .datasets.registry import dataset_names, load_dataset
 from .db.io import read_uncertain
 from .eval import reporting, runner, scenarios
@@ -67,12 +79,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parallel_arguments(mine_parser)
 
+    topk_parser = subparsers.add_parser(
+        "mine-topk", help="mine the k highest-ranked itemsets of one dataset"
+    )
+    topk_parser.add_argument(
+        "--algorithm",
+        "-a",
+        default="uapriori",
+        help=(
+            "registered algorithm or evaluator name (esup/dp/dc/normal/poisson); "
+            "expected-support algorithms rank by Definition 2, probabilistic "
+            "ones by Definition 4 at --min-sup"
+        ),
+    )
+    topk_parser.add_argument(
+        "--dataset", "-d", default="accident", help="benchmark dataset name or path to an item:probability file"
+    )
+    topk_parser.add_argument("--scale", type=float, default=0.002, help="benchmark scale factor")
+    topk_parser.add_argument("-k", type=int, default=10, help="how many itemsets to return")
+    topk_parser.add_argument(
+        "--min-sup",
+        type=float,
+        default=None,
+        help="support level of the probabilistic ranking (default 0.3)",
+    )
+    topk_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "also mine everything through the corresponding threshold miner, "
+            "truncate to k, and check the two results agree"
+        ),
+    )
+    topk_parser.add_argument(
+        "--backend",
+        choices=["rows", "columnar"],
+        default=None,
+        help="probability-evaluation backend (default: columnar)",
+    )
+    _add_parallel_arguments(topk_parser)
+
     experiment_parser = subparsers.add_parser(
         "experiment", help="run one of the paper's experiment scenarios"
     )
     experiment_parser.add_argument(
         "figure",
-        choices=["fig4", "fig5", "fig6", "table8", "table9"],
+        choices=["fig4", "fig5", "fig6", "table8", "table9", "topk"],
         help="which experiment family to run",
     )
     experiment_parser.add_argument("--scale", type=float, default=0.002, help="dataset scale factor")
@@ -204,7 +256,99 @@ def _command_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_mine_topk(args: argparse.Namespace) -> int:
+    if args.dataset in dataset_names():
+        database = load_dataset(args.dataset, scale=args.scale)
+    else:
+        database = read_uncertain(args.dataset, name=args.dataset)
+
+    evaluator = resolve_evaluator(args.algorithm)
+    ranking = ranking_of(evaluator)
+    min_sup: Optional[float] = None
+    if ranking == "probability":
+        min_sup = args.min_sup if args.min_sup is not None else 0.3
+    elif args.min_sup is not None:
+        print(
+            f"note: --min-sup is ignored — {args.algorithm!r} ranks by "
+            "expected support (Definition 2), not frequentness probability"
+        )
+
+    result = mine_topk(
+        database,
+        args.k,
+        algorithm=args.algorithm,
+        min_sup=min_sup,
+        backend=args.backend,
+        workers=args.workers,
+        shards=args.shards,
+    )
+    statistics = result.statistics
+    label = "esup ranking" if ranking == "esup" else f"Pr ranking at min_sup={min_sup}"
+    print(
+        f"topk-{evaluator}: best {len(result)} of k={args.k} ({label}) in "
+        f"{statistics.elapsed_seconds:.3f}s over {len(database)} transactions"
+    )
+    for rank, record in enumerate(result, start=1):
+        probability = (
+            f"  Pr={record.frequent_probability:.4f}"
+            if record.frequent_probability is not None
+            else ""
+        )
+        print(
+            f"  #{rank:<3d} {record.itemset.items}  "
+            f"esup={record.expected_support:.2f}{probability}"
+        )
+
+    if args.verify:
+        baseline = truncation_baseline(
+            database,
+            args.k,
+            evaluator,
+            min_sup=min_sup,
+            reference=result,
+            backend=args.backend,
+            workers=args.workers,
+            shards=args.shards,
+        )
+        matches = result.ranked_keys() == baseline.ranked_keys()
+        print(
+            f"verify (mine-then-truncate via {args.algorithm!r} family): "
+            f"{'match' if matches else 'MISMATCH'}"
+        )
+        if not matches:
+            return 1
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
+    if args.figure == "topk":
+        for spec in scenarios.topk_scenarios(args.scale):
+            print(f"== {spec.scenario_id}: {spec.title} ==")
+            points = runner.run_topk_scenario(
+                spec,
+                verify=True,
+                max_points=args.max_points,
+                backend=args.backend,
+                workers=args.workers,
+                shards=args.shards,
+            )
+            rows = [point.as_dict() for point in points]
+            print(
+                reporting.format_table(
+                    rows,
+                    [
+                        "algorithm",
+                        "k",
+                        "n_itemsets",
+                        "kth_score",
+                        "elapsed_seconds",
+                        "baseline_seconds",
+                        "matches_truncation",
+                    ],
+                )
+            )
+            print()
+        return 0
     if args.figure == "fig4":
         specs = scenarios.figure4_time_and_memory(args.scale)
     elif args.figure == "fig5":
@@ -316,6 +460,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_list()
     if args.command == "mine":
         return _command_mine(args)
+    if args.command == "mine-topk":
+        return _command_mine_topk(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "stream-mine":

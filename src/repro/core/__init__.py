@@ -27,6 +27,14 @@ from .support import (
     poisson_tail_probability,
 )
 from .thresholds import ExpectedSupportThreshold, ProbabilisticThreshold
+from .topk import (
+    TopKBuffer,
+    TopKResult,
+    mine_topk,
+    rank_itemsets,
+    truncate_result,
+    truncation_baseline,
+)
 
 __all__ = [
     "AlgorithmInfo",
@@ -43,6 +51,8 @@ __all__ = [
     "SupportEngine",
     "algorithm_names",
     "algorithms_in_family",
+    "TopKBuffer",
+    "TopKResult",
     "chernoff_upper_bound",
     "closed_itemsets",
     "derive_rules",
@@ -53,7 +63,11 @@ __all__ = [
     "pack_probability_matrix",
     "get_algorithm",
     "mine",
+    "mine_topk",
     "normal_tail_probability",
+    "rank_itemsets",
+    "truncate_result",
+    "truncation_baseline",
     "poisson_lambda_for_threshold",
     "poisson_tail_probability",
     "register_algorithm",

@@ -26,6 +26,10 @@ from .results import FrequentItemset, MiningResult
 
 __all__ = ["AssociationRule", "derive_rules", "closed_itemsets"]
 
+#: consequents whose expected support falls at or below this bound are
+#: treated as never-occurring: no meaningful rule (or lift) exists for them
+_MIN_CONSEQUENT_SUPPORT = 1e-12
+
 
 @dataclass(frozen=True)
 class AssociationRule:
@@ -59,6 +63,17 @@ def derive_rules(
     lift.  The expected supports of the antecedent/consequent are looked up
     in ``result`` when present (they always are when the miner honours
     downward closure) and recomputed from ``database`` otherwise.
+
+    The expected confidence is clamped into ``[0, 1]`` *before* the
+    ``min_confidence`` filter, the lift computation and the sort, so the
+    ordering, the filter and the stored value all see the same number
+    (floating-point division can push the esup ratio of near-equal itemsets
+    marginally above 1).  Consequents whose expected support is zero or
+    negligible (``<= 1e-12``) yield no rule at all: the lift denominator is
+    degenerate there — the historical behaviour emitted ``inf`` lifts, or
+    raised ``ZeroDivisionError`` once the ``antecedent * consequent``
+    product underflowed — and a consequent that essentially never occurs
+    supports no meaningful implication in the first place.
     """
     if not 0.0 < min_confidence <= 1.0:
         raise ValueError("min_confidence must lie in (0, 1]")
@@ -87,22 +102,22 @@ def derive_rules(
                 antecedent_support = expected_support_of(antecedent)
                 if antecedent_support <= 0.0:
                     continue
-                confidence = joint_support / antecedent_support
+                confidence = min(joint_support / antecedent_support, 1.0)
                 if confidence < min_confidence:
                     continue
                 consequent_support = expected_support_of(consequent)
-                lift = (
-                    (joint_support * n_transactions)
-                    / (antecedent_support * consequent_support)
-                    if consequent_support > 0.0
-                    else float("inf")
-                )
+                if consequent_support <= _MIN_CONSEQUENT_SUPPORT:
+                    continue
+                # Dividing the already-formed confidence keeps the value
+                # finite even when both supports are denormal (their product
+                # would underflow to zero and raise).
+                lift = confidence * (n_transactions / consequent_support)
                 rules.append(
                     AssociationRule(
                         antecedent=antecedent,
                         consequent=consequent,
                         expected_support=joint_support,
-                        expected_confidence=min(confidence, 1.0),
+                        expected_confidence=confidence,
                         lift=lift,
                     )
                 )

@@ -43,6 +43,7 @@ __all__ = [
     "poisson_tail_probability",
     "normal_tail_probability",
     "chernoff_upper_bound",
+    "cheap_tail_upper_bound",
     "poisson_lambda_for_threshold",
 ]
 
@@ -315,6 +316,29 @@ def chernoff_upper_bound(expected_support: float, min_count: int) -> float:
     if delta > 2.0 * math.e - 1.0:
         return float(2.0 ** (-delta * mu))
     return float(math.exp(-(delta * delta) * mu / 4.0))
+
+
+def cheap_tail_upper_bound(expected_support: float, min_count: int) -> float:
+    """Cheapest sound upper bound on ``Pr[sup(X) >= min_count]``.
+
+    The minimum of the Chernoff bound (Lemma 1) and Markov's inequality
+    (``Pr <= esup / min_count``), both O(1) from the expected support — the
+    shared pre-filter of the top-k miners (batch and streaming), applied
+    against the rising k-th-best floor exactly as the threshold miners
+    apply the Chernoff bound against ``pft``.
+
+    >>> cheap_tail_upper_bound(1.0, 10) <= 0.1
+    True
+    >>> cheap_tail_upper_bound(5.0, 0)
+    1.0
+    """
+    if min_count <= 0:
+        return 1.0
+    return min(
+        1.0,
+        chernoff_upper_bound(expected_support, min_count),
+        float(expected_support) / min_count,
+    )
 
 
 def poisson_lambda_for_threshold(min_count: int, pft: float) -> float:

@@ -21,8 +21,10 @@ __all__ = ["AccuracyReport", "precision", "recall", "f1_score", "compare_results
 def precision(approximate: MiningResult, exact: MiningResult) -> float:
     """``|AR ∩ ER| / |AR|`` — the fraction of reported itemsets that are truly frequent.
 
-    Follows the paper's convention of reporting 1.0 when the approximate
-    result is empty (no false positives can exist).
+    Empty-result convention (pinned, so no division by zero is reachable):
+    an empty approximate result has precision **1.0** — no false positives
+    can exist (the paper's convention, and the vacuous-truth reading of the
+    ratio).  This holds whether or not the exact result is empty too.
     """
     approximate_keys = approximate.itemset_keys()
     if not approximate_keys:
@@ -32,7 +34,12 @@ def precision(approximate: MiningResult, exact: MiningResult) -> float:
 
 
 def recall(approximate: MiningResult, exact: MiningResult) -> float:
-    """``|AR ∩ ER| / |ER|`` — the fraction of truly frequent itemsets that are reported."""
+    """``|AR ∩ ER| / |ER|`` — the fraction of truly frequent itemsets that are reported.
+
+    Empty-result convention (pinned, so no division by zero is reachable):
+    an empty exact result has recall **1.0** — there was nothing to find,
+    so nothing was missed — whether or not the approximate result is empty.
+    """
     exact_keys = exact.itemset_keys()
     if not exact_keys:
         return 1.0
@@ -41,7 +48,15 @@ def recall(approximate: MiningResult, exact: MiningResult) -> float:
 
 
 def f1_score(approximate: MiningResult, exact: MiningResult) -> float:
-    """Harmonic mean of precision and recall."""
+    """Harmonic mean of precision and recall.
+
+    Inherits the empty-result conventions of :func:`precision` and
+    :func:`recall`: both results empty gives ``f1 = 1.0`` (precision and
+    recall are both 1), exactly one side empty gives ``f1 = 0.0`` (one of
+    the two is 0), and the only remaining degenerate case — precision and
+    recall both 0, i.e. two disjoint non-empty results — is pinned to
+    ``0.0`` explicitly, so the harmonic mean never divides by zero.
+    """
     p = precision(approximate, exact)
     r = recall(approximate, exact)
     if p + r == 0.0:

@@ -18,20 +18,23 @@ from ..core.miner import mine
 from ..core.parallel import resolve_shards, resolve_workers
 from ..core.registry import get_algorithm
 from ..core.results import MiningResult
+from ..core.topk import mine_topk, truncation_baseline
 from ..datasets.registry import load_dataset
 from ..db.database import UncertainDatabase, resolve_backend
 from ..stream import BATCH_EQUIVALENTS, TransactionStream, make_streaming_miner
 from .metrics import compare_results
-from .scenarios import ExperimentSpec, StreamingScenario
+from .scenarios import ExperimentSpec, StreamingScenario, TopKScenario
 
 __all__ = [
     "SweepPoint",
     "AccuracyPoint",
     "StreamPoint",
+    "TopKPoint",
     "BATCH_EQUIVALENTS",
     "run_experiment",
     "run_accuracy_experiment",
     "run_streaming_scenario",
+    "run_topk_scenario",
 ]
 
 
@@ -110,6 +113,36 @@ class StreamPoint:
             "elapsed_seconds": self.elapsed_seconds,
             "batch_seconds": self.batch_seconds,
             "matches_batch": "" if self.matches_batch is None else self.matches_batch,
+        }
+
+
+@dataclass(frozen=True)
+class TopKPoint:
+    """One top-k measurement: one evaluator at one value of k."""
+
+    scenario_id: str
+    dataset: str
+    algorithm: str
+    k: int
+    n_itemsets: int
+    kth_score: float
+    elapsed_seconds: float
+    baseline_seconds: float = math.nan
+    matches_truncation: Optional[bool] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario_id": self.scenario_id,
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "n_itemsets": self.n_itemsets,
+            "kth_score": self.kth_score,
+            "elapsed_seconds": self.elapsed_seconds,
+            "baseline_seconds": self.baseline_seconds,
+            "matches_truncation": (
+                "" if self.matches_truncation is None else self.matches_truncation
+            ),
         }
 
 
@@ -285,6 +318,79 @@ def run_streaming_scenario(
                 elapsed_seconds=result.statistics.elapsed_seconds,
                 batch_seconds=batch_seconds,
                 matches_batch=matches,
+            )
+        )
+    return points
+
+
+def run_topk_scenario(
+    spec: TopKScenario,
+    verify: bool = False,
+    max_points: Optional[int] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+) -> List[TopKPoint]:
+    """Run the k-sweep of ``spec`` and return one row per value of k.
+
+    With ``verify=True`` every point is additionally mined through the
+    corresponding *threshold* miner (everything above a floor self-calibrated
+    just below the k-th best score), truncated to k, and compared against the
+    top-k result — recording the baseline wall-clock and the agreement flag.
+    ``max_points`` truncates the k grid (smoke runs).
+    """
+    database = load_dataset(spec.dataset, **spec.dataset_kwargs)
+    if resolve_backend(backend) == "columnar":
+        # Warm the shared view (and partition) outside the timed mining, as
+        # the sweep runner does for the threshold algorithms.
+        database.columnar()
+        resolved_shards = resolve_shards(shards, resolve_workers(workers))
+        if resolved_shards > 1:
+            database.partition(resolved_shards)
+
+    ks = list(spec.ks)
+    if max_points is not None:
+        ks = ks[:max_points]
+
+    points: List[TopKPoint] = []
+    for k in ks:
+        result = mine_topk(
+            database,
+            int(k),
+            algorithm=spec.algorithm,
+            min_sup=spec.min_sup,
+            backend=backend,
+            workers=workers,
+            shards=shards,
+        )
+        scores = result.scores()
+        baseline_seconds = math.nan
+        matches: Optional[bool] = None
+        if verify:
+            started = time.perf_counter()
+            baseline = truncation_baseline(
+                database,
+                int(k),
+                spec.algorithm,
+                min_sup=spec.min_sup,
+                reference=result,
+                backend=backend,
+                workers=workers,
+                shards=shards,
+            )
+            baseline_seconds = time.perf_counter() - started
+            matches = result.ranked_keys() == baseline.ranked_keys()
+        points.append(
+            TopKPoint(
+                scenario_id=spec.scenario_id,
+                dataset=spec.dataset,
+                algorithm=spec.algorithm,
+                k=int(k),
+                n_itemsets=len(result),
+                kth_score=scores[-1] if scores else math.nan,
+                elapsed_seconds=result.statistics.elapsed_seconds,
+                baseline_seconds=baseline_seconds,
+                matches_truncation=matches,
             )
         )
     return points

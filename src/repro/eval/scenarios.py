@@ -11,11 +11,12 @@ database size so a pure-Python sweep finishes in minutes; passing a larger
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 __all__ = [
     "ExperimentSpec",
     "StreamingScenario",
+    "TopKScenario",
     "EXPECTED_ALGORITHMS",
     "EXACT_ALGORITHMS",
     "APPROXIMATE_ALGORITHMS",
@@ -33,6 +34,7 @@ __all__ = [
     "table8_accuracy_dense",
     "table9_accuracy_sparse",
     "streaming_scenarios",
+    "topk_scenarios",
     "all_scenarios",
 ]
 
@@ -423,6 +425,75 @@ def streaming_scenarios(scale: float = 0.002) -> List[StreamingScenario]:
             max_slides=8,
             dataset_kwargs={"scale": scale},
             thresholds={"min_sup": 0.02, "pft": 0.9},
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Top-k scenarios: ranked serving workloads over the same benchmark replicas
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopKScenario:
+    """One ranked-serving workload: a k-sweep of one evaluator on one dataset.
+
+    ``algorithm`` is a registered algorithm or evaluator name (resolved by
+    :func:`repro.core.topk.resolve_evaluator`); ``min_sup`` fixes the
+    support level of the probabilistic ranking and is ``None`` for the
+    expected-support one.
+    """
+
+    scenario_id: str
+    title: str
+    dataset: str
+    algorithm: str
+    ks: Sequence[int]
+    min_sup: Optional[float] = None
+    dataset_kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+def topk_scenarios(scale: float = 0.002) -> List[TopKScenario]:
+    """The ranked-serving workloads: both rankings on dense and sparse replicas.
+
+    The k grids are chosen so the largest k still sits well below the full
+    frequent set at the scenarios' implied thresholds (``k << |F|``, the
+    regime the threshold-raising floor pays off in).
+    """
+    return [
+        TopKScenario(
+            scenario_id="topk-esup-accident",
+            title="accident: top-k by expected support (Definition 2 ordering)",
+            dataset="accident",
+            algorithm="uapriori",
+            ks=(5, 10, 25, 50),
+            dataset_kwargs={"scale": scale},
+        ),
+        TopKScenario(
+            scenario_id="topk-dp-accident",
+            title="accident: top-k by frequentness probability (DP scoring)",
+            dataset="accident",
+            algorithm="dpb",
+            ks=(5, 10, 25),
+            min_sup=0.3,
+            dataset_kwargs={"scale": scale},
+        ),
+        TopKScenario(
+            scenario_id="topk-esup-kosarak",
+            title="kosarak: top-k by expected support (Definition 2 ordering)",
+            dataset="kosarak",
+            algorithm="uapriori",
+            ks=(5, 10, 25, 50),
+            dataset_kwargs={"scale": scale},
+        ),
+        TopKScenario(
+            scenario_id="topk-dp-kosarak",
+            title="kosarak: top-k by frequentness probability (DP scoring)",
+            dataset="kosarak",
+            algorithm="dpb",
+            ks=(5, 10, 25),
+            min_sup=0.02,
+            dataset_kwargs={"scale": scale},
         ),
     ]
 

@@ -25,6 +25,7 @@ from .miners import (
     STREAMING_MINERS,
     StreamingDP,
     StreamingMiner,
+    StreamingTopK,
     StreamingUApriori,
     make_streaming_miner,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "SlidingWindow",
     "StreamingDP",
     "StreamingMiner",
+    "StreamingTopK",
     "StreamingUApriori",
     "TransactionStream",
     "make_streaming_miner",

@@ -35,7 +35,15 @@ from ..algorithms.common import apriori_join, has_infrequent_subset, instrumente
 from ..algorithms.pruning import ChernoffPruner
 from ..core.itemset import Itemset
 from ..core.results import FrequentItemset, MiningResult, MiningStatistics
+from ..core.support import cheap_tail_upper_bound
 from ..core.thresholds import ExpectedSupportThreshold, ProbabilisticThreshold
+from ..core.topk import (
+    EVALUATOR_RANKINGS,
+    ScoredCandidate,
+    TopKResult,
+    resolve_evaluator,
+    run_topk_search,
+)
 from .index import IncrementalSupportIndex
 from .window import SlidingWindow, TransactionStream
 
@@ -44,6 +52,7 @@ __all__ = [
     "StreamingMiner",
     "StreamingUApriori",
     "StreamingDP",
+    "StreamingTopK",
     "STREAMING_MINERS",
     "make_streaming_miner",
 ]
@@ -370,6 +379,188 @@ class StreamingDP(StreamingMiner):
                 if expected[position] >= min_count * pft
             ]
         self._level_loop(evaluate(items), evaluate, queried, statistics)
+
+
+class StreamingTopK(StreamingMiner):
+    """Sliding-window top-k ranked miner served from the incremental index.
+
+    Per slide, the same best-first threshold-raising search as the batch
+    :class:`~repro.algorithms.topk.TopKMiner` runs over the resident window
+    — but every support statistic is read off the
+    :class:`~repro.stream.index.IncrementalSupportIndex` roots (moments for
+    the expected-support ranking, merged exact PMF tails for the
+    probabilistic one) instead of re-scanning the window, so a slide of
+    ``k`` arrivals costs the usual ``O(k log W)`` bucket merges plus the
+    pruned search, never a full re-mine.  The per-slide top-k equals batch
+    top-k over ``window.contents()`` (bitwise on dyadic streams, within
+    convolution round-off otherwise), pinned by
+    ``tests/test_stream_topk.py``.
+
+    Parameters
+    ----------
+    window:
+        Capacity or adopted :class:`SlidingWindow`.
+    k:
+        How many itemsets to emit per slide.
+    evaluator:
+        ``"esup"`` (Definition 2 ordering) or ``"dp"`` (Definition 4
+        ordering; the index serves the exact tail from its merged PMFs).
+    min_sup:
+        Fixed support level of the probabilistic ranking — a ratio of the
+        *resident* window size or an absolute count, re-resolved every
+        slide like the threshold streaming miners.
+    use_pruning:
+        Apply the rising floor and the Chernoff / Markov pre-filters.
+    track_variance:
+        Also report variances under the expected-support ranking.
+    """
+
+    name = "stream-topk"
+
+    def __init__(
+        self,
+        window,
+        k: int,
+        evaluator: str = "esup",
+        min_sup: Optional[float] = None,
+        use_pruning: bool = True,
+        track_variance: bool = False,
+        use_fft: bool = True,
+    ) -> None:
+        self.evaluator = resolve_evaluator(evaluator)
+        if self.evaluator not in ("esup", "dp"):
+            raise ValueError(
+                f"no streaming top-k evaluator {evaluator!r}; the index serves "
+                "'esup' (moments) and 'dp' (merged exact PMF tails)"
+            )
+        self.ranking = EVALUATOR_RANKINGS[self.evaluator]
+        if self.ranking == "probability":
+            if min_sup is None:
+                raise ValueError("the probabilistic ranking requires min_sup")
+            self.threshold: Optional[ProbabilisticThreshold] = ProbabilisticThreshold(
+                float(min_sup)
+            )
+        else:
+            self.threshold = None
+        self.k = int(k)
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.use_pruning = use_pruning
+        self.track_variance = track_variance
+        probabilistic = self.ranking == "probability"
+        self.index_options = {
+            "track_variance": bool(track_variance) or probabilistic,
+            "track_nonzero": probabilistic,
+        }
+        super().__init__(window, use_fft=use_fft)
+        self._last_ranked: List[FrequentItemset] = []
+        self._last_min_count: Optional[int] = None
+        self._last_statistics: Optional[MiningStatistics] = None
+
+    def ranked_result(self) -> TopKResult:
+        """The most recent slide's itemsets in rank order (best first)."""
+        return TopKResult(
+            list(self._last_ranked),
+            self.k,
+            self.ranking,
+            self._last_min_count,
+            statistics=self._last_statistics,
+        )
+
+    def _mine_window(
+        self,
+        records: List[FrequentItemset],
+        queried: List[Candidate],
+        statistics: MiningStatistics,
+    ) -> None:
+        min_count: Optional[int] = None
+        if self.threshold is not None:
+            min_count = self.threshold.min_count(len(self.window))
+        self._last_min_count = min_count
+        self._last_statistics = statistics
+        universe = self.window.active_items()
+
+        if self.ranking == "esup":
+            evaluate = self._make_esup_evaluate(queried, statistics)
+        else:
+            evaluate = self._make_probability_evaluate(
+                int(min_count), queried, statistics
+            )
+        buffer = run_topk_search(
+            universe, evaluate, self.k, use_floor=self.use_pruning, statistics=statistics
+        )
+        self._last_ranked = buffer.records()
+        records.extend(self._last_ranked)
+        statistics.notes["k"] = float(self.k)
+        statistics.notes["floor"] = buffer.floor
+
+    def _make_esup_evaluate(self, queried: List[Candidate], statistics):
+        def evaluate(candidates, buffer):
+            floor = buffer.floor if (self.use_pruning and buffer.full) else 0.0
+            self.index.ensure(candidates)
+            queried.extend(candidates)
+            expected, variance, _ = self.index.root_stats(candidates)
+            scored: List[Optional[ScoredCandidate]] = []
+            for position, candidate in enumerate(candidates):
+                score = float(expected[position])
+                if score <= 0.0 or score < floor:
+                    statistics.candidates_pruned += 1
+                    scored.append(None)
+                    continue
+                record = FrequentItemset(
+                    Itemset(candidate),
+                    score,
+                    float(variance[position]) if variance is not None else None,
+                )
+                scored.append(ScoredCandidate(candidate, score, score, record))
+            return scored
+
+        return evaluate
+
+    def _make_probability_evaluate(
+        self, min_count: int, queried: List[Candidate], statistics
+    ):
+        def evaluate(candidates, buffer):
+            floor = buffer.floor if (self.use_pruning and buffer.full) else 0.0
+            self.index.ensure(candidates)
+            queried.extend(candidates)
+            expected, variance, max_supports = self.index.root_stats(candidates)
+            scored: List[Optional[ScoredCandidate]] = [None] * len(candidates)
+            alive: List[int] = []
+            for position in range(len(candidates)):
+                if max_supports[position] < min_count:
+                    statistics.candidates_pruned += 1
+                    continue
+                if self.use_pruning:
+                    bound = cheap_tail_upper_bound(float(expected[position]), min_count)
+                    if bound < floor:
+                        statistics.candidates_pruned += 1
+                        continue
+                alive.append(position)
+            if not alive:
+                return scored
+            alive_candidates = [candidates[position] for position in alive]
+            # Only the cheap-filter survivors pay for PMF maintenance.
+            self._pmf_keep.extend(alive_candidates)
+            probabilities = self.index.frequent_probabilities(
+                alive_candidates, min_count
+            )
+            statistics.exact_evaluations += len(alive)
+            for position, probability in zip(alive, probabilities):
+                candidate = candidates[position]
+                score = float(probability)
+                record = None
+                if score > 0.0:
+                    record = FrequentItemset(
+                        Itemset(candidate),
+                        float(expected[position]),
+                        float(variance[position]),
+                        score,
+                    )
+                scored[position] = ScoredCandidate(candidate, score, score, record)
+            return scored
+
+        return evaluate
 
 
 #: streaming variants by the batch algorithm they shadow

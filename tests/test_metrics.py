@@ -82,3 +82,44 @@ class TestCompareResults:
         flattened = report.as_dict()
         assert flattened["precision"] == 1.0
         assert flattened["n_common"] == 1.0
+
+
+class TestEmptyResultConventions:
+    """The pinned empty-result conventions: no division by zero is reachable
+    for any combination of empty / non-empty results."""
+
+    def test_f1_both_empty(self):
+        assert f1_score(result_of([]), result_of([])) == 1.0
+
+    def test_f1_empty_approximate(self):
+        assert f1_score(result_of([]), result_of([(1,)])) == 0.0
+
+    def test_f1_empty_exact(self):
+        assert f1_score(result_of([(1,)]), result_of([])) == 0.0
+
+    def test_disjoint_nonempty_results(self):
+        approx, exact = result_of([(1,)]), result_of([(2,)])
+        assert precision(approx, exact) == 0.0
+        assert recall(approx, exact) == 0.0
+        assert f1_score(approx, exact) == 0.0  # harmonic mean of (0, 0)
+
+    def test_compare_results_both_empty(self):
+        report = compare_results(result_of([]), result_of([]))
+        assert (report.precision, report.recall, report.f1) == (1.0, 1.0, 1.0)
+        assert report.n_approximate == report.n_exact == report.n_common == 0
+        assert report.false_positives == report.false_negatives == 0
+        assert report.max_probability_error is None
+
+    def test_compare_results_empty_approximate(self):
+        report = compare_results(result_of([]), result_of([(1,)]))
+        assert report.precision == 1.0
+        assert report.recall == 0.0
+        assert report.f1 == 0.0
+        assert report.false_negatives == 1
+
+    def test_compare_results_empty_exact(self):
+        report = compare_results(result_of([(1,)]), result_of([]))
+        assert report.precision == 0.0
+        assert report.recall == 1.0
+        assert report.f1 == 0.0
+        assert report.false_positives == 1

@@ -107,3 +107,70 @@ class TestClosedItemsets:
         result = UApriori().mine(rule_db, min_esup=0.2)
         closed = closed_itemsets(result)
         assert closed.statistics is result.statistics
+
+
+class TestLiftGuards:
+    """Regression: zero / near-zero consequent supports used to emit ``inf``
+    lifts or raise ``ZeroDivisionError``; confidence is clamped before the
+    filter, the lift and the sort key ever see it."""
+
+    def test_zero_support_consequent_yields_no_rule(self):
+        import math
+
+        from repro.core import FrequentItemset, MiningResult
+
+        # The result claims {1, 2} is frequent although item 2 never occurs
+        # in the database: the consequent {2} recomputes to esup 0.
+        database = UncertainDatabase.from_records([{1: 0.9} for _ in range(4)])
+        result = MiningResult(
+            [
+                FrequentItemset(Itemset((1,)), 3.6),
+                FrequentItemset(Itemset((1, 2)), 3.6),
+            ]
+        )
+        rules = derive_rules(result, database, min_confidence=0.5)
+        assert all(math.isfinite(rule.lift) for rule in rules)
+        assert all(rule.consequent != Itemset((2,)) for rule in rules)
+
+    def test_denormal_supports_do_not_raise(self):
+        from repro.core import FrequentItemset, MiningResult
+
+        tiny = 1e-300  # antecedent * consequent underflows to exactly 0.0
+        database = UncertainDatabase.from_records(
+            [{1: 0.9, 2: 0.9} for _ in range(2)]
+        )
+        result = MiningResult(
+            [
+                FrequentItemset(Itemset((1,)), tiny),
+                FrequentItemset(Itemset((2,)), tiny),
+                FrequentItemset(Itemset((1, 2)), tiny),
+            ]
+        )
+        # Historically: ZeroDivisionError from joint * N / (tiny * tiny).
+        rules = derive_rules(result, database, min_confidence=0.1)
+        assert rules == []  # never-occurring consequents support no rule
+
+    def test_confidence_clamped_before_filter_and_sort(self):
+        from repro.core import FrequentItemset, MiningResult
+
+        # joint > antecedent (float-noise scenario): the stored confidence,
+        # the min_confidence filter and the sort key must all see the
+        # clamped value.
+        database = UncertainDatabase.from_records(
+            [{1: 0.9, 2: 0.9} for _ in range(4)]
+        )
+        result = MiningResult(
+            [
+                FrequentItemset(Itemset((1,)), 1.0),
+                FrequentItemset(Itemset((2,)), 2.0),
+                FrequentItemset(Itemset((1, 2)), 1.2),
+            ]
+        )
+        rules = derive_rules(result, database, min_confidence=0.2)
+        assert rules, "expected at least one rule"
+        assert all(rule.expected_confidence <= 1.0 for rule in rules)
+        keys = [
+            (-rule.expected_confidence, -rule.lift, rule.antecedent.items)
+            for rule in rules
+        ]
+        assert keys == sorted(keys)

@@ -1,0 +1,138 @@
+"""Streaming top-k vs batch top-k over identical window contents.
+
+The acceptance property of the streaming top-k path: after every slide, the
+ranked result served from the incremental support index equals batch top-k
+mining of ``window.contents()`` — bitwise (itemsets *and* scores) on dyadic
+streams, set-and-order identical with approximately equal scores on
+arbitrary-probability streams.
+"""
+
+import random
+
+import pytest
+
+from repro.core.topk import mine_topk
+from repro.stream import StreamingTopK, TransactionStream
+
+DYADIC_CHOICES = (0.25, 0.5, 0.75, 1.0)
+
+
+def dyadic_records(n, n_items=6, density=0.5, seed=3):
+    rng = random.Random(seed)
+    return [
+        {
+            item: rng.choice(DYADIC_CHOICES)
+            for item in range(n_items)
+            if rng.random() < density
+        }
+        for _ in range(n)
+    ]
+
+
+def general_records(n, n_items=7, density=0.45, seed=9):
+    rng = random.Random(seed)
+    return [
+        {
+            item: round(rng.uniform(0.05, 1.0), 3)
+            for item in range(n_items)
+            if rng.random() < density
+        }
+        for _ in range(n)
+    ]
+
+
+class TestDyadicByteIdentity:
+    def test_streaming_topk_esup_matches_batch_bitwise(self):
+        stream = TransactionStream.from_records(dyadic_records(120))
+        miner = StreamingTopK(24, 6, evaluator="esup")
+        assert miner.advance(stream, 24) is not None
+        slides = 0
+        for _ in miner.results(stream, step=5, max_slides=12):
+            batch = mine_topk(miner.window.contents(), 6, algorithm="uapriori")
+            assert miner.ranked_result().ranked_keys() == batch.ranked_keys()
+            slides += 1
+        assert slides == 12
+
+    def test_streaming_topk_dp_matches_batch_bitwise(self):
+        stream = TransactionStream.from_records(dyadic_records(110, seed=8))
+        miner = StreamingTopK(20, 5, evaluator="dp", min_sup=0.25)
+        assert miner.advance(stream, 20) is not None
+        slides = 0
+        for _ in miner.results(stream, step=4, max_slides=10):
+            batch = mine_topk(
+                miner.window.contents(), 5, algorithm="dp", min_sup=0.25
+            )
+            assert miner.ranked_result().ranked_keys() == batch.ranked_keys()
+            slides += 1
+        assert slides == 10
+
+    def test_variance_tracking_matches_batch(self):
+        stream = TransactionStream.from_records(dyadic_records(80, seed=4))
+        miner = StreamingTopK(16, 4, evaluator="esup", track_variance=True)
+        miner.advance(stream, 16)
+        for _ in miner.results(stream, step=4, max_slides=6):
+            batch = mine_topk(
+                miner.window.contents(), 4, algorithm="uapriori", track_variance=True
+            )
+            ours = [
+                (r.itemset.items, r.expected_support, r.variance)
+                for r in miner.ranked_result()
+            ]
+            theirs = [
+                (r.itemset.items, r.expected_support, r.variance) for r in batch
+            ]
+            assert ours == theirs
+
+
+class TestGeneralStreams:
+    def test_ranked_sets_match_with_tolerant_scores(self):
+        stream = TransactionStream.from_records(general_records(140))
+        miner = StreamingTopK(32, 8, evaluator="dp", min_sup=0.2)
+        assert miner.advance(stream, 32) is not None
+        slides = 0
+        for _ in miner.results(stream, step=8, max_slides=8):
+            batch = mine_topk(
+                miner.window.contents(), 8, algorithm="dp", min_sup=0.2
+            )
+            ranked = miner.ranked_result()
+            assert [r.itemset.items for r in ranked] == [
+                r.itemset.items for r in batch
+            ]
+            for left, right in zip(ranked.scores(), batch.scores()):
+                assert left == pytest.approx(right, abs=1e-9)
+            slides += 1
+        assert slides == 8
+
+    def test_pruning_does_not_change_streaming_results(self):
+        records = general_records(90, seed=21)
+        ranked_by_pruning = {}
+        for use_pruning in (True, False):
+            stream = TransactionStream.from_records(records)
+            miner = StreamingTopK(
+                24, 5, evaluator="esup", use_pruning=use_pruning
+            )
+            miner.advance(stream, 24)
+            outcomes = []
+            for _ in miner.results(stream, step=6, max_slides=6):
+                outcomes.append(tuple(miner.ranked_result().ranked_keys()))
+            ranked_by_pruning[use_pruning] = outcomes
+        assert ranked_by_pruning[True] == ranked_by_pruning[False]
+
+
+class TestValidation:
+    def test_requires_min_sup_for_probability_ranking(self):
+        with pytest.raises(ValueError, match="min_sup"):
+            StreamingTopK(16, 4, evaluator="dp")
+
+    def test_rejects_unservable_evaluators(self):
+        for evaluator in ("normal", "poisson", "dc"):
+            with pytest.raises(ValueError):
+                StreamingTopK(16, 4, evaluator=evaluator, min_sup=0.3)
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            StreamingTopK(16, 0, evaluator="esup")
+
+    def test_ranked_result_empty_before_first_slide(self):
+        miner = StreamingTopK(16, 4, evaluator="esup")
+        assert len(miner.ranked_result()) == 0

@@ -13,7 +13,8 @@ class TestExpectedSupportThreshold:
         assert ExpectedSupportThreshold(30).absolute(100) == pytest.approx(30.0)
 
     def test_one_is_treated_as_ratio(self):
-        assert ExpectedSupportThreshold(1.0).absolute(40) == pytest.approx(40.0)
+        with pytest.warns(UserWarning):  # the ambiguous-boundary warning
+            assert ExpectedSupportThreshold(1.0).absolute(40) == pytest.approx(40.0)
 
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
@@ -44,3 +45,43 @@ class TestProbabilisticThreshold:
 
     def test_default_pft(self):
         assert ProbabilisticThreshold(0.5).pft == 0.9
+
+
+class TestAmbiguousOneBoundary:
+    """The ``value == 1.0`` boundary keeps the ratio interpretation
+    (``1.0 * N``), warns about the ambiguity, and flips to absolute counts
+    for anything strictly above 1."""
+
+    def test_expected_one_is_ratio_and_warns(self):
+        with pytest.warns(UserWarning, match="ambiguous"):
+            assert ExpectedSupportThreshold(1.0).absolute(40) == pytest.approx(40.0)
+
+    def test_expected_just_above_one_is_absolute_and_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ExpectedSupportThreshold(1.0 + 1e-9).absolute(40) == pytest.approx(
+                1.0
+            )
+
+    def test_probabilistic_one_is_ratio_and_warns(self):
+        with pytest.warns(UserWarning, match="ambiguous"):
+            assert ProbabilisticThreshold(1.0, 0.9).min_count(100) == 100
+
+    def test_probabilistic_just_above_one_is_absolute_and_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            # Absolute counts are ceiled to the next attainable support.
+            assert ProbabilisticThreshold(1.0 + 1e-9, 0.9).min_count(100) == 2
+
+    def test_ratio_below_one_is_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ExpectedSupportThreshold(0.999).absolute(1000) == pytest.approx(
+                999.0
+            )

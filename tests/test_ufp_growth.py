@@ -113,3 +113,57 @@ class TestBehaviour:
     def test_statistics_algorithm_name(self, paper_db):
         result = UFPGrowth().mine(paper_db, min_esup=0.5)
         assert result.statistics.algorithm == "ufp-growth"
+
+
+class TestProbabilityPrecisionClamp:
+    """Regression: rounding for node sharing must stay inside ``(0, 1]`` —
+    a sub-grid existential probability that rounds to 0.0 would silently
+    delete the unit from the tree."""
+
+    def test_sub_grid_probabilities_survive_rounding(self):
+        from repro.db import UncertainDatabase
+
+        precision = 3
+        # 0.0004 < 0.5 * 10**-3: bare round() maps it to 0.0, dropping the
+        # unit; the clamp keeps it at the grid floor 0.001 instead.
+        records = [{0: 0.9, 1: 0.0004} for _ in range(5)] + [
+            {0: 0.8} for _ in range(3)
+        ]
+        database = UncertainDatabase.from_records(records)
+        threshold = 0.0002  # ratio -> absolute 0.0016, below esup({1}) = 0.002
+
+        exact = UApriori().mine(database, min_esup=threshold)
+        rounded = UFPGrowth(probability_precision=precision).mine(
+            database, min_esup=threshold
+        )
+
+        # The tiny-probability item (and its 2-itemset) must not be dropped.
+        exact_keys = {record.itemset.items for record in exact}
+        assert (1,) in exact_keys
+        assert {record.itemset.items for record in rounded} == exact_keys
+
+        # Expected supports agree within the rounding tolerance:
+        # one grid step per contributing transaction.
+        tolerance = len(database) * 10.0 ** -precision
+        for record in rounded:
+            assert record.expected_support == pytest.approx(
+                exact[record.itemset].expected_support, abs=tolerance
+            )
+
+    def test_rounding_does_not_exceed_certainty(self):
+        from repro.db import UncertainDatabase
+
+        database = UncertainDatabase.from_records(
+            [{0: 0.99996, 1: 1.0} for _ in range(4)]
+        )
+        result = UFPGrowth(probability_precision=2).mine(database, min_esup=0.1)
+        for record in result:
+            # Clamped rounding can never push an expected support above the
+            # transaction count.
+            assert record.expected_support <= len(database) + 1e-9
+
+    def test_precision_below_one_rejected(self):
+        # precision 0 would clamp every probability to 1.0 (the grid step
+        # is the whole unit interval), silently making the database certain.
+        with pytest.raises(ValueError, match="probability_precision"):
+            UFPGrowth(probability_precision=0)
