@@ -51,3 +51,28 @@ def test_ablation_report(benchmark):
         "\n".join(f"{label:7s} {seconds:.4f}s" for label, seconds in rows.items()),
     )
     assert rows["fft"] <= rows["direct"] * 1.5
+
+
+def json_payload():
+    """Machine-readable FFT-vs-direct timings for the trajectory (--json)."""
+    import time
+
+    timings = {}
+    for use_fft in (True, False):
+        started = time.perf_counter()
+        exact_pmf_divide_conquer(VECTOR, use_fft=use_fft)
+        label = "fft_seconds" if use_fft else "direct_seconds"
+        timings[label] = time.perf_counter() - started
+    return {
+        "config": {"n_transactions": len(VECTOR)},
+        "timings": timings,
+        "speedups": {
+            "fft_speedup": timings["direct_seconds"] / timings["fft_seconds"]
+        },
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    from benchio import bench_main
+
+    raise SystemExit(bench_main("ablation_convolution", json_payload))

@@ -164,6 +164,14 @@ def test_columnar_batched_evaluation_speedup():
     assert measurements["level_speedup"] >= 5.0, measurements
 
 
+def json_payload():
+    """Machine-readable measurements for the benchmark trajectory (--json)."""
+    from benchio import split_measurements
+
+    return split_measurements(run_benchmark())
+
+
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    for key, value in run_benchmark().items():
-        print(f"{key:28s} {value:.6g}")
+    from benchio import bench_main
+
+    raise SystemExit(bench_main("backend_columnar", json_payload))

@@ -51,3 +51,21 @@ def test_unification_report(benchmark):
     assert errors[SIZES[-1]][0] < 0.01
     assert errors[SIZES[-1]][0] <= errors[SIZES[0]][0] + 1e-9
     assert errors[SIZES[-1]][0] <= errors[SIZES[-1]][1] + 1e-9
+
+
+def json_payload():
+    """Machine-readable approximation-error sweep for the trajectory (--json)."""
+    errors = {n: approximation_errors(n) for n in SIZES}
+    return {
+        "config": {"sizes": list(SIZES)},
+        "timings": {},
+        "errors": {
+            str(n): {"normal": errors[n][0], "poisson": errors[n][1]} for n in SIZES
+        },
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    from benchio import bench_main
+
+    raise SystemExit(bench_main("definition_unification", json_payload))

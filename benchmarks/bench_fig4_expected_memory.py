@@ -42,3 +42,17 @@ def test_fig4_memory_report(benchmark, panel_index):
         save_and_render(points, f"{spec.experiment_id}_memory", measure="peak_memory_bytes"),
     )
     assert all(point.peak_memory_bytes > 0 for point in points)
+
+
+def json_payload(max_points=None):
+    """Machine-readable sweep results for the benchmark trajectory (--json)."""
+    from benchio import sweep_payload
+    from repro.eval import run_experiment
+
+    return sweep_payload(figure4_time_and_memory(SCALE, track_memory=True), run_experiment, max_points=max_points)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    from benchio import bench_main
+
+    raise SystemExit(bench_main("fig4_expected_memory", json_payload))

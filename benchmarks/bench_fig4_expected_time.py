@@ -40,3 +40,17 @@ def test_fig4_report(benchmark, panel_index):
     points = benchmark.pedantic(lambda: run_experiment(spec), rounds=1, iterations=1)
     emit(spec.title, save_and_render(points, spec.experiment_id))
     assert len(points) == len(spec.values) * len(spec.algorithms)
+
+
+def json_payload(max_points=None):
+    """Machine-readable sweep results for the benchmark trajectory (--json)."""
+    from benchio import sweep_payload
+    from repro.eval import run_experiment
+
+    return sweep_payload(figure4_time_and_memory(SCALE), run_experiment, max_points=max_points)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    from benchio import bench_main
+
+    raise SystemExit(bench_main("fig4_expected_time", json_payload))

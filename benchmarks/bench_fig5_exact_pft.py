@@ -34,3 +34,17 @@ def test_fig5_pft_report(benchmark, panel_index):
         save_and_render(points, f"{spec.experiment_id}_memory", measure="peak_memory_bytes"),
     )
     assert len(points) == len(spec.values) * len(spec.algorithms)
+
+
+def json_payload(max_points=None):
+    """Machine-readable sweep results for the benchmark trajectory (--json)."""
+    from benchio import sweep_payload
+    from repro.eval import run_experiment
+
+    return sweep_payload(figure5_pft(SCALE, track_memory=True), run_experiment, max_points=max_points)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    from benchio import bench_main
+
+    raise SystemExit(bench_main("fig5_exact_pft", json_payload))

@@ -28,3 +28,17 @@ def test_fig5_scalability_report(benchmark):
             if point.algorithm == algorithm
         )
         assert series[-1][1] >= series[0][1]
+
+
+def json_payload(max_points=None):
+    """Machine-readable sweep results for the benchmark trajectory (--json)."""
+    from benchio import sweep_payload
+    from repro.eval import run_experiment
+
+    return sweep_payload([figure5_scalability()], run_experiment, max_points=max_points)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    from benchio import bench_main
+
+    raise SystemExit(bench_main("fig5_scalability", json_payload))

@@ -31,3 +31,17 @@ def test_fig5_zipf_report(benchmark):
             (point.value, point.n_itemsets) for point in points if point.algorithm == algorithm
         )
         assert series[0][1] >= series[-1][1]
+
+
+def json_payload(max_points=None):
+    """Machine-readable sweep results for the benchmark trajectory (--json)."""
+    from benchio import sweep_payload
+    from repro.eval import run_experiment
+
+    return sweep_payload([figure5_zipf()], run_experiment, max_points=max_points)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    from benchio import bench_main
+
+    raise SystemExit(bench_main("fig5_zipf", json_payload))

@@ -41,3 +41,24 @@ def test_table10_summary(benchmark):
             assert winner in ("uapriori", "uh-mine", "ufp-growth")
         if experiment_id.startswith("fig6"):
             assert winner in ("pdu-apriori", "ndu-apriori", "nduh-mine")
+
+
+def json_payload(max_points=None):
+    """Machine-readable summary sweep for the benchmark trajectory (--json)."""
+    from benchio import sweep_payload
+    from repro.eval import run_experiment
+
+    specs = (
+        figure4_time_and_memory(SCALE)
+        + figure5_min_sup(SCALE)
+        + figure6_min_sup(SCALE)
+    )
+    return sweep_payload(
+        specs, run_experiment, max_points=2 if max_points is None else max_points
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    from benchio import bench_main
+
+    raise SystemExit(bench_main("table10_summary", json_payload))

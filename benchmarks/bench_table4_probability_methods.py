@@ -63,3 +63,34 @@ def test_table4_accuracy_relationships(benchmark):
     )
     assert dp_value == pytest.approx(dc_value, abs=1e-9)
     assert chernoff_value >= dp_value - 1e-9
+
+
+def json_payload():
+    """Machine-readable per-primitive timings for the trajectory (--json)."""
+    import time
+
+    timings = {}
+    for label, method in (
+        ("dp_seconds", dp_method),
+        ("dc_seconds", dc_method),
+        ("chernoff_seconds", chernoff_method),
+    ):
+        started = time.perf_counter()
+        method()
+        timings[label] = time.perf_counter() - started
+    return {
+        "config": {"n_transactions": N_TRANSACTIONS, "min_count": MIN_COUNT},
+        "timings": timings,
+        "speedups": {
+            "dc_over_dp_speedup": timings["dp_seconds"] / timings["dc_seconds"],
+            "chernoff_over_dc_speedup": (
+                timings["dc_seconds"] / timings["chernoff_seconds"]
+            ),
+        },
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    from benchio import bench_main
+
+    raise SystemExit(bench_main("table4_probability_methods", json_payload))

@@ -23,3 +23,22 @@ def test_table8_report(benchmark):
         if point.algorithm in ("ndu-apriori", "nduh-mine"):
             assert point.recall >= 0.9
         assert 0.0 <= point.precision <= 1.0
+
+
+def json_payload(max_points=None):
+    """Machine-readable accuracy sweep for the benchmark trajectory (--json)."""
+    from benchio import sweep_payload
+    from repro.eval import run_accuracy_experiment
+
+    return sweep_payload(
+        [table8_accuracy_dense(SCALE)],
+        run_accuracy_experiment,
+        max_points=max_points,
+        reference_algorithm="dcb",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    from benchio import bench_main
+
+    raise SystemExit(bench_main("table8_accuracy_dense", json_payload))

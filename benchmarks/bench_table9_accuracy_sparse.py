@@ -21,3 +21,22 @@ def test_table9_report(benchmark):
         if point.algorithm in ("ndu-apriori", "nduh-mine"):
             assert point.recall >= 0.9
             assert point.precision >= 0.8
+
+
+def json_payload(max_points=None):
+    """Machine-readable accuracy sweep for the benchmark trajectory (--json)."""
+    from benchio import sweep_payload
+    from repro.eval import run_accuracy_experiment
+
+    return sweep_payload(
+        [table9_accuracy_sparse(SCALE)],
+        run_accuracy_experiment,
+        max_points=max_points,
+        reference_algorithm="dcb",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    from benchio import bench_main
+
+    raise SystemExit(bench_main("table9_accuracy_sparse", json_payload))

@@ -191,7 +191,19 @@ class CandidateSource:
 
     backend: str = "rows"
 
-    def level_vectors(self, candidates: Sequence[Tuple[int, ...]]) -> List[np.ndarray]:
+    def level_vectors(
+        self, candidates: Sequence[Tuple[int, ...]], min_count: float = 0.0
+    ) -> List[np.ndarray]:
+        """One compressed vector per candidate.
+
+        ``min_count`` is the caller's sound stage-1 kill threshold: a
+        candidate whose maximum attainable support (supporting-row count)
+        falls below it may come back as an empty vector without any float
+        work, because the caller's decision rule already rejects it
+        (``esup <= count`` for Definition 2; ``Pr[sup >= minsup] = 0`` for
+        Definition 4).  Pass ``0`` when every score matters (e.g. rankings
+        without a floor).  The row oracle ignores the hint entirely.
+        """
         raise NotImplementedError
 
 
@@ -203,7 +215,9 @@ class RowCandidateSource(CandidateSource):
     def __init__(self, transactions: List[Dict[int, float]]) -> None:
         self.transactions = transactions
 
-    def level_vectors(self, candidates: Sequence[Tuple[int, ...]]) -> List[np.ndarray]:
+    def level_vectors(
+        self, candidates: Sequence[Tuple[int, ...]], min_count: float = 0.0
+    ) -> List[np.ndarray]:
         return [
             np.asarray(
                 itemset_probability_vector(self.transactions, candidate), dtype=float
@@ -220,8 +234,10 @@ class ColumnarCandidateSource(CandidateSource):
     def __init__(self, view: ColumnarView) -> None:
         self.view = view
 
-    def level_vectors(self, candidates: Sequence[Tuple[int, ...]]) -> List[np.ndarray]:
-        return self.view.batch_vectors(candidates)
+    def level_vectors(
+        self, candidates: Sequence[Tuple[int, ...]], min_count: float = 0.0
+    ) -> List[np.ndarray]:
+        return self.view.batch_vectors(candidates, min_count)
 
 
 class PartitionedCandidateSource(CandidateSource):
@@ -230,7 +246,8 @@ class PartitionedCandidateSource(CandidateSource):
     Every shard evaluates the whole level over its own row range (in a
     worker process when the executor is parallel); the per-shard compressed
     vectors are concatenated in shard order, which is bitwise identical to
-    the single-view evaluation.
+    the single-view evaluation.  Stage-1 kills are decided on the *summed*
+    per-shard occupancy counts, never on local evidence.
     """
 
     backend = "columnar"
@@ -238,8 +255,10 @@ class PartitionedCandidateSource(CandidateSource):
     def __init__(self, executor: ParallelExecutor) -> None:
         self.executor = executor
 
-    def level_vectors(self, candidates: Sequence[Tuple[int, ...]]) -> List[np.ndarray]:
-        return self.executor.shard_vectors(candidates)
+    def level_vectors(
+        self, candidates: Sequence[Tuple[int, ...]], min_count: float = 0.0
+    ) -> List[np.ndarray]:
+        return self.executor.shard_vectors(candidates, min_count)
 
 
 def make_candidate_source(

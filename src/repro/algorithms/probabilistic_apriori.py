@@ -189,7 +189,9 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
                     executor,
                 )
 
-            statistics.candidates_pruned += pruner.pruned
+            statistics.candidates_pruned += pruner.pruned + int(
+                statistics.notes.get("markov_pruned", 0.0)
+            )
             statistics.notes["chernoff_tested"] = float(pruner.tested)
             statistics.notes["chernoff_pruned"] = float(pruner.pruned)
 
@@ -208,27 +210,32 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
     ) -> List[Tuple[int, ...]]:
         """Evaluate one level of candidates; return the probabilistic frequent ones.
 
-        The cheap filters run first, in the same order as the historical
-        per-candidate path: a candidate occurring (with any probability) in
-        fewer than ``min_count`` transactions can never be frequent, and the
-        Chernoff bound may discard it from its expected support alone.  The
-        survivors are then evaluated in one batch.
+        The full three-stage cascade: the candidate source kills candidates
+        whose bitmap occupancy count is below ``min_count`` before any
+        float work (stage 1), the survivors' columns come from the
+        cross-level prefix cache (stage 2), and the cheap sound bounds run
+        in cost order — occupancy count, then Markov, then Chernoff — so
+        the exact (or approximate) tail evaluation only pays for the
+        candidates no bound could decide (stage 3).  Every filter is
+        one-sided, so the frequent set is identical to the unfiltered
+        evaluation.
         """
         if not candidates:
             return []
-        vectors = source.level_vectors(candidates)
+        vectors = source.level_vectors(candidates, min_count=min_count)
         engine = SupportEngine(vectors)
         expected = engine.expected_supports()
         variance = engine.variances()
         max_supports = engine.nonzero_counts()
 
-        survivors: List[int] = []
-        for index in range(len(candidates)):
-            if max_supports[index] < min_count:
-                continue
-            if pruner.can_prune(float(expected[index]), min_count, pft):
-                continue
-            survivors.append(index)
+        survivors = engine.undecided_after_bounds(
+            min_count,
+            pft,
+            counts=max_supports,
+            use_bounds=pruner.enabled,
+            pruner=pruner,
+            notes=statistics.notes,
+        )
         if not survivors:
             return []
 

@@ -43,7 +43,7 @@ import numpy as np
 
 from ..core.itemset import Itemset
 from ..core.results import FrequentItemset, MiningStatistics
-from ..core.support import SupportEngine, cheap_tail_upper_bound
+from ..core.support import SupportEngine, staged_tail_filter
 from ..core.thresholds import ProbabilisticThreshold
 from ..core.topk import (
     EVALUATOR_RANKINGS,
@@ -177,7 +177,10 @@ class TopKMiner(MinerBase):
 
         def evaluate(candidates, buffer):
             floor = buffer.floor if (self.use_pruning and buffer.full) else 0.0
-            engine = SupportEngine(source.level_vectors(candidates))
+            # The floor doubles as the stage-1 kill threshold: a candidate
+            # with fewer supporting rows than the k-th best score cannot
+            # reach it (esup <= count), and the floor only rises.
+            engine = SupportEngine(source.level_vectors(candidates, min_count=floor))
             expected = engine.expected_supports()
             variances = engine.variances() if self.track_variance else None
             # One batch per expanded node, not per Apriori level: counted
@@ -222,7 +225,13 @@ class TopKMiner(MinerBase):
 
         def evaluate(candidates, buffer):
             floor = buffer.floor if (self.use_pruning and buffer.full) else 0.0
-            vectors = source.level_vectors(candidates)
+            # Stage-1 kill at the ranking's support level: sound exactly
+            # where the max-attainable-support cut is already semantic (the
+            # Poisson ranking scores count-starved candidates positively,
+            # so it must see their true vectors).
+            vectors = source.level_vectors(
+                candidates, min_count=min_count if max_support_cut else 0.0
+            )
             engine = SupportEngine(vectors)
             expected = engine.expected_supports()
             variances = engine.variances()
@@ -241,10 +250,11 @@ class TopKMiner(MinerBase):
                     statistics.candidates_pruned += 1
                     continue
                 if cheap_filters:
-                    bound = cheap_tail_upper_bound(float(expected[index]), min_count)
-                    if bound < floor:
-                        # The bound caps the exact score of the candidate
-                        # and (by anti-monotonicity) of every superset.
+                    if staged_tail_filter(float(expected[index]), min_count, floor):
+                        # A cheap bound (Markov first, Chernoff only when
+                        # Markov is undecided) caps the exact score of the
+                        # candidate and (by anti-monotonicity) of every
+                        # superset below the floor.
                         statistics.candidates_pruned += 1
                         continue
                 alive.append(index)

@@ -137,8 +137,16 @@ class UApriori(ExpectedSupportMiner):
         candidates: List[Tuple[int, ...]],
         min_expected_support: float,
     ) -> List[Tuple[Tuple[int, ...], float, Optional[float]]]:
-        """One batched engine pass over the whole level."""
-        engine = SupportEngine(source.level_vectors(candidates))
+        """One batched engine pass over the whole level.
+
+        The candidate source is handed ``min_expected_support`` as the
+        stage-1 kill threshold: ``esup(X) <= count(X)`` (every probability
+        is at most 1), so a candidate whose supporting-row count is below
+        the threshold is already decided infrequent before any float work.
+        """
+        engine = SupportEngine(
+            source.level_vectors(candidates, min_count=min_expected_support)
+        )
         expected_supports = engine.expected_supports()
         variances = engine.variances() if self.track_variance else None
         survivors: List[Tuple[Tuple[int, ...], float, Optional[float]]] = []

@@ -33,6 +33,7 @@ from typing import List, Optional
 
 from .core.miner import mine
 from .core.registry import algorithm_names, get_algorithm
+from .db.columnar import bitset_scope
 from .core.topk import (
     mine_topk,
     ranking_of,
@@ -195,6 +196,16 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "row shards of the columnar view "
             "(default: REPRO_SHARDS or the worker count)"
+        ),
+    )
+    parser.add_argument(
+        "--bitset",
+        choices=["on", "off"],
+        default=None,
+        help=(
+            "bitset evaluation cascade: packed-bitmap candidate killing, "
+            "cross-level prefix caching and bound-ordered verification "
+            "(default: REPRO_BITSET or on; results are identical either way)"
         ),
     )
 
@@ -458,14 +469,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _command_list()
-    if args.command == "mine":
-        return _command_mine(args)
-    if args.command == "mine-topk":
-        return _command_mine_topk(args)
-    if args.command == "experiment":
-        return _command_experiment(args)
-    if args.command == "stream-mine":
-        return _command_stream_mine(args)
+    with bitset_scope(getattr(args, "bitset", None)):
+        if args.command == "mine":
+            return _command_mine(args)
+        if args.command == "mine-topk":
+            return _command_mine_topk(args)
+        if args.command == "experiment":
+            return _command_experiment(args)
+        if args.command == "stream-mine":
+            return _command_stream_mine(args)
     return 1
 
 

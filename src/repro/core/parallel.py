@@ -350,8 +350,25 @@ class ParallelExecutor:
                         self._cache.popitem(last=False)
         return results
 
-    def shard_vectors(
+    def shard_occupancy_counts(
         self, candidates: Sequence[Tuple[int, ...]]
+    ) -> np.ndarray:
+        """Global supporting-row counts from per-shard bitmap popcounts.
+
+        Every shard ANDs its own packed occupancy bitmaps (built lazily per
+        worker process and reused across levels); occupancy is row-local,
+        so summing the per-shard popcounts reproduces the unpartitioned
+        counts exactly.
+        """
+        candidates = [tuple(candidate) for candidate in candidates]
+        per_shard = self.map_shard_method("level_occupancy_counts", candidates)
+        totals = np.zeros(len(candidates), dtype=np.int64)
+        for counts in per_shard:
+            totals += counts
+        return totals
+
+    def shard_vectors(
+        self, candidates: Sequence[Tuple[int, ...]], min_count: float = 0.0
     ) -> List[np.ndarray]:
         """Compressed probability vectors of a level, extracted shard-parallel.
 
@@ -360,8 +377,32 @@ class ParallelExecutor:
         (i.e. row) order, which reproduces the unpartitioned view's vectors
         bitwise — per-transaction products are row-local and row order is
         preserved.
+
+        With ``min_count > 0`` and the bitset cascade enabled the kill
+        phase is two-step: per-shard occupancy counts are summed into the
+        global count first (a shard must never kill against the global
+        threshold on local evidence alone), then only the survivors fan out
+        for float evaluation — identical kill decisions and survivor
+        vectors to the serial cascade.
         """
+        # Imported lazily — repro.db pulls this module in via its package
+        # __init__, so a top-level import would be circular.
+        from ..db.columnar import resolve_bitset
+        from ..db.partition import two_phase_kill
+
         candidates = [tuple(candidate) for candidate in candidates]
+        if resolve_bitset(None) and min_count > 0 and candidates:
+            return two_phase_kill(
+                candidates,
+                self.shard_occupancy_counts(candidates),
+                min_count,
+                self._merged_shard_vectors,
+            )
+        return self._merged_shard_vectors(candidates)
+
+    def _merged_shard_vectors(
+        self, candidates: List[Tuple[int, ...]]
+    ) -> List[np.ndarray]:
         per_shard = self.map_shard_method("batch_vectors", candidates)
         return [
             np.concatenate([shard_vectors[i] for shard_vectors in per_shard])

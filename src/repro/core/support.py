@@ -43,7 +43,9 @@ __all__ = [
     "poisson_tail_probability",
     "normal_tail_probability",
     "chernoff_upper_bound",
+    "markov_upper_bound",
     "cheap_tail_upper_bound",
+    "staged_tail_filter",
     "poisson_lambda_for_threshold",
 ]
 
@@ -318,6 +320,24 @@ def chernoff_upper_bound(expected_support: float, min_count: int) -> float:
     return float(math.exp(-(delta * delta) * mu / 4.0))
 
 
+def markov_upper_bound(expected_support: float, min_count: int) -> float:
+    """Markov's inequality on the support tail: ``Pr[sup >= m] <= esup / m``.
+
+    The cheapest sound bound of the filter-verify cascade — one division
+    from the already-computed expected support, no exponentials.  It is the
+    inequality behind the miners' item prefilter, applied here per
+    candidate as the first verify stage.
+
+    >>> markov_upper_bound(2.0, 8)
+    0.25
+    >>> markov_upper_bound(5.0, 0)
+    1.0
+    """
+    if min_count <= 0:
+        return 1.0
+    return min(1.0, max(float(expected_support), 0.0) / min_count)
+
+
 def cheap_tail_upper_bound(expected_support: float, min_count: int) -> float:
     """Cheapest sound upper bound on ``Pr[sup(X) >= min_count]``.
 
@@ -339,6 +359,33 @@ def cheap_tail_upper_bound(expected_support: float, min_count: int) -> float:
         chernoff_upper_bound(expected_support, min_count),
         float(expected_support) / min_count,
     )
+
+
+def staged_tail_filter(
+    expected_support: float, min_count: int, floor: float
+) -> bool:
+    """Bound-ordered kill test: is the exact tail certainly below ``floor``?
+
+    Evaluates the cheap upper bounds in cost order and stops at the first
+    decisive one — Markov (one division) before Chernoff (exponentials) —
+    instead of always paying for both.  The decision is identical to
+    ``cheap_tail_upper_bound(...) < floor`` because
+    ``min(a, b) < floor  ⇔  a < floor or b < floor``; only the work is
+    staged.  The shared kill stage of the top-k miners (batch and
+    streaming), applied against the rising k-th-best floor.
+
+    >>> staged_tail_filter(1.0, 10, 0.2)   # Markov alone decides: 0.1 < 0.2
+    True
+    >>> staged_tail_filter(1.0, 10, 0.05)  # Chernoff decides: 2^-8ish < 0.05
+    True
+    >>> staged_tail_filter(9.0, 10, 0.5)   # bounds uninformative near the mean
+    False
+    """
+    if floor <= 0.0 or min_count <= 0:
+        return False
+    if markov_upper_bound(expected_support, min_count) < floor:
+        return True
+    return chernoff_upper_bound(expected_support, min_count) < floor
 
 
 def poisson_lambda_for_threshold(min_count: int, pft: float) -> float:
@@ -550,11 +597,15 @@ class SupportEngine:
         return self._matrix
 
     # -- moments (vectorized) ----------------------------------------------------------
+    # The reductions special-case empty vectors (stage-1 kills arrive as
+    # empty vectors): the empty sum is exactly 0.0, so skipping the NumPy
+    # call is bitwise-neutral and saves one dispatch per killed candidate.
     def expected_supports(self) -> np.ndarray:
         """``esup(X)`` of every candidate."""
         if self._expected is None:
             self._expected = np.array(
-                [float(vector.sum()) for vector in self._vectors], dtype=float
+                [float(vector.sum()) if vector.size else 0.0 for vector in self._vectors],
+                dtype=float,
             )
         return self._expected
 
@@ -562,7 +613,10 @@ class SupportEngine:
         """``Var[sup(X)]`` of every candidate."""
         if self._variance is None:
             self._variance = np.array(
-                [float((vector * (1.0 - vector)).sum()) for vector in self._vectors],
+                [
+                    float((vector * (1.0 - vector)).sum()) if vector.size else 0.0
+                    for vector in self._vectors
+                ],
                 dtype=float,
             )
         return self._variance
@@ -575,7 +629,11 @@ class SupportEngine:
         cheap filter every probabilistic miner applies first.
         """
         return np.array(
-            [int(np.count_nonzero(vector)) for vector in self._vectors], dtype=np.int64
+            [
+                int(np.count_nonzero(vector)) if vector.size else 0
+                for vector in self._vectors
+            ],
+            dtype=np.int64,
         )
 
     # -- exact tails -------------------------------------------------------------------
@@ -598,7 +656,17 @@ class SupportEngine:
         if method == "dynamic_programming":
             if distribute:
                 return self._executor.dp_tails(self._vectors, min_count)
-            return frequent_probabilities_dp_batch(self.matrix, min_count)
+            # The padded matrix is built transiently (unless a caller
+            # already materialised it through the ``matrix`` property): the
+            # DP sweep is its only consumer on this path, and caching it on
+            # the engine would pin the level's peak allocation for the
+            # whole mining run (pinned by ``tests/test_support_memory.py``).
+            matrix = (
+                self._matrix
+                if self._matrix is not None
+                else pack_probability_matrix(self._vectors)
+            )
+            return frequent_probabilities_dp_batch(matrix, min_count)
         if method == "divide_conquer":
             if distribute:
                 return self._executor.dc_tails(self._vectors, min_count)
@@ -642,6 +710,90 @@ class SupportEngine:
             dtype=float,
         )
 
+    def markov_bounds(self, min_count: int) -> np.ndarray:
+        """Markov upper bound on every candidate's frequent probability."""
+        expected = self.expected_supports()
+        if min_count <= 0:
+            return np.ones(len(expected), dtype=float)
+        return np.minimum(1.0, np.maximum(expected, 0.0) / float(min_count))
+
+    def undecided_after_bounds(
+        self,
+        min_count: int,
+        pft: float,
+        counts: Optional[np.ndarray] = None,
+        use_bounds: bool = True,
+        pruner=None,
+        notes: Optional[Dict[str, float]] = None,
+    ) -> List[int]:
+        """Stage 3 of the cascade: the filter half of filter-verify.
+
+        Applies the cheap sound upper bounds to one evaluated level in cost
+        order and returns the indices the bounds could *not* decide — the
+        only candidates the caller's exact DP/DC (or approximation) tail
+        still has to verify:
+
+        1. **occupancy count** — a candidate with fewer than ``min_count``
+           possible occurrences has frequent probability exactly zero
+           (always applied; it mirrors the semantic filter every registered
+           miner already runs, and it is free when stage 1 killed the
+           candidate into an empty vector);
+        2. **Markov** — ``esup / min_count <= pft`` decides *infrequent*
+           from a single division;
+        3. **Chernoff** — Lemma 1 of the paper, evaluated only for the
+           candidates Markov left undecided.
+
+        The Poisson tail joins this cascade only where it is itself the
+        scoring kernel (PDUApriori's ``lambda*`` translation and the top-k
+        Poisson ranking): it approximates — but does not bound — the exact
+        tail, so using it to kill here could change exact results.
+
+        Args:
+            min_count: Absolute support threshold.
+            pft: Decision threshold (Definition 4 keeps ``Pr > pft``); a
+                bound ``<= pft`` is decisive.
+            counts: Optional per-candidate maximum attainable supports (the
+                stage-1 popcounts); ``None`` derives them from the vectors.
+            use_bounds: When False (the paper's *NB* configurations) only
+                the semantic count filter runs.
+            pruner: Optional
+                :class:`~repro.algorithms.pruning.ChernoffPruner`-style
+                accountant; every candidate reaching the Chernoff stage is
+                fed through ``pruner.register`` so the tested/pruned
+                statistics match the historical per-candidate path.
+            notes: Optional mutable mapping; ``markov_tested`` /
+                ``markov_pruned`` are accumulated into it.
+
+        Returns:
+            Indices of the undecided candidates, in candidate order.
+        """
+        min_count = int(min_count)
+        counts = self.nonzero_counts() if counts is None else counts
+        expected = self.expected_supports()
+        markov = self.markov_bounds(min_count) if use_bounds else None
+        markov_tested = 0
+        markov_pruned = 0
+        undecided: List[int] = []
+        for index in range(len(self._vectors)):
+            if counts[index] < min_count:
+                continue
+            if markov is not None:
+                markov_tested += 1
+                if markov[index] <= pft:
+                    markov_pruned += 1
+                    continue
+                bound = chernoff_upper_bound(float(expected[index]), min_count)
+                if pruner is not None:
+                    if pruner.register(bound, pft):
+                        continue
+                elif bound <= pft:
+                    continue
+            undecided.append(index)
+        if notes is not None and use_bounds:
+            notes["markov_tested"] = notes.get("markov_tested", 0.0) + markov_tested
+            notes["markov_pruned"] = notes.get("markov_pruned", 0.0) + markov_pruned
+        return undecided
+
 
 class MergeableSupportStats:
     """Per-shard support statistics of one candidate batch, with exact merges.
@@ -680,7 +832,14 @@ class MergeableSupportStats:
     [0.75]
     """
 
-    __slots__ = ("vectors", "expected", "variance", "max_supports", "pmfs")
+    __slots__ = (
+        "vectors",
+        "expected",
+        "variance",
+        "max_supports",
+        "occupancy_counts",
+        "pmfs",
+    )
 
     def __init__(
         self,
@@ -689,11 +848,17 @@ class MergeableSupportStats:
         variance: np.ndarray,
         max_supports: np.ndarray,
         pmfs: Optional[List[np.ndarray]] = None,
+        occupancy_counts: Optional[np.ndarray] = None,
     ) -> None:
         self.vectors = vectors
         self.expected = expected
         self.variance = variance
         self.max_supports = max_supports
+        #: per-candidate supporting-row counts from the shard's packed
+        #: occupancy bitmaps (stage 1 of the cascade); additive across
+        #: shards like every other scalar statistic, and ``None`` when the
+        #: shard was built without bitmap support
+        self.occupancy_counts = occupancy_counts
         self.pmfs = pmfs
 
     def __len__(self) -> int:
@@ -726,6 +891,23 @@ class MergeableSupportStats:
         return cls(arrays, expected, variance, max_supports, pmfs)
 
     @classmethod
+    def from_shard(
+        cls, shard, candidates: Sequence, with_pmfs: bool = False
+    ) -> "MergeableSupportStats":
+        """One shard's statistics, carrying its bitmap occupancy counts.
+
+        ``shard`` is a :class:`~repro.db.columnar.ColumnarView` (or any
+        object offering ``batch_vectors`` and ``level_occupancy_counts``);
+        the occupancy counts come from the shard's own packed bitmaps, so a
+        distributed consumer can merge counts (by addition) without ever
+        shipping vectors.
+        """
+        candidates = [tuple(candidate) for candidate in candidates]
+        stats = cls.from_vectors(shard.batch_vectors(candidates), with_pmfs=with_pmfs)
+        stats.occupancy_counts = shard.level_occupancy_counts(candidates)
+        return stats
+
+    @classmethod
     def from_partition(
         cls, partition, candidates: Sequence, with_pmfs: bool = False
     ) -> "MergeableSupportStats":
@@ -733,11 +915,14 @@ class MergeableSupportStats:
 
         ``partition`` is a :class:`~repro.db.partition.ColumnarPartition`
         (duck-typed: anything with a ``shards`` sequence whose members offer
-        ``batch_vectors``).
+        ``batch_vectors`` and ``level_occupancy_counts``).  Every shard
+        carries its own bitmap occupancy counts; the merge adds them, so
+        the merged statistics expose the same stage-1 kill signal as the
+        unpartitioned cascade.
         """
         candidates = [tuple(candidate) for candidate in candidates]
         parts = [
-            cls.from_vectors(shard.batch_vectors(candidates), with_pmfs=with_pmfs)
+            cls.from_shard(shard, candidates, with_pmfs=with_pmfs)
             for shard in partition.shards
         ]
         return cls.merge_all(parts)
@@ -764,6 +949,9 @@ class MergeableSupportStats:
                 _convolve(left, right, use_fft=True)
                 for left, right in zip(self.pmfs, other.pmfs)
             ]
+        occupancy = None
+        if self.occupancy_counts is not None and other.occupancy_counts is not None:
+            occupancy = self.occupancy_counts + other.occupancy_counts
         return MergeableSupportStats(
             [
                 np.concatenate((left, right))
@@ -773,6 +961,7 @@ class MergeableSupportStats:
             self.variance + other.variance,
             self.max_supports + other.max_supports,
             pmfs,
+            occupancy,
         )
 
     @classmethod

@@ -7,7 +7,13 @@ validation.
 """
 
 from .builder import DatabaseBuilder, paper_example_database
-from .columnar import ColumnarView
+from .cache import ByteBudgetLRU
+from .columnar import (
+    BITSET_ENV,
+    ColumnarView,
+    bitset_scope,
+    resolve_bitset,
+)
 from .database import BACKENDS, DatabaseStats, UncertainDatabase, resolve_backend
 from .partition import ColumnarPartition, shard_bounds
 from .io import read_fimi, read_uncertain, write_fimi, write_uncertain
@@ -24,6 +30,8 @@ from .vocabulary import Vocabulary
 
 __all__ = [
     "BACKENDS",
+    "BITSET_ENV",
+    "ByteBudgetLRU",
     "ColumnarPartition",
     "ColumnarView",
     "DatabaseBuilder",
@@ -33,12 +41,14 @@ __all__ = [
     "ValidationIssue",
     "ValidationReport",
     "Vocabulary",
+    "bitset_scope",
     "enumerate_worlds",
     "monte_carlo_support",
     "paper_example_database",
     "read_fimi",
     "read_uncertain",
     "resolve_backend",
+    "resolve_bitset",
     "sample_world",
     "sample_worlds",
     "shard_bounds",

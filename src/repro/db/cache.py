@@ -1,0 +1,144 @@
+"""Byte-budgeted LRU caches for the columnar backend.
+
+The columnar view memoises three kinds of derived arrays — dense per-item
+probability columns, packed occupancy bitmaps and cross-level prefix
+columns.  All three are pure functions of the (immutable) database, so a
+cache hit can never change a result; the only question is how much memory
+the memos may pin.  :class:`ByteBudgetLRU` answers it uniformly: every
+cache holds at most ``budget_bytes`` of NumPy payload and evicts in strict
+least-recently-used order, so one unlucky workload (many distinct items,
+deep levels, huge databases) degrades to recomputation instead of
+unbounded growth.
+
+Budgets are small-by-default and overridable per process through
+environment variables (one knob per cache, documented on the constants
+below).
+
+>>> cache = ByteBudgetLRU(budget_bytes=64)
+>>> import numpy as np
+>>> cache.put("a", np.zeros(4))          # 32 bytes
+>>> cache.put("b", np.zeros(4))          # 64 bytes total: at budget
+>>> cache.put("c", np.zeros(4))          # evicts "a" (least recently used)
+>>> cache.get("a") is None, cache.get("b") is not None
+(True, True)
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+import numpy as np
+
+__all__ = [
+    "ByteBudgetLRU",
+    "DENSE_CACHE_BYTES_ENV",
+    "PREFIX_CACHE_BYTES_ENV",
+    "BITMAP_CACHE_BYTES_ENV",
+    "DEFAULT_DENSE_CACHE_BYTES",
+    "DEFAULT_PREFIX_CACHE_BYTES",
+    "DEFAULT_BITMAP_CACHE_BYTES",
+    "resolve_budget",
+]
+
+#: env override for the dense per-item column memo (bytes)
+DENSE_CACHE_BYTES_ENV = "REPRO_DENSE_CACHE_BYTES"
+#: env override for the cross-level prefix-column cache (bytes)
+PREFIX_CACHE_BYTES_ENV = "REPRO_PREFIX_CACHE_BYTES"
+#: env override for the packed occupancy-bitmap cache (bytes)
+BITMAP_CACHE_BYTES_ENV = "REPRO_BITMAP_CACHE_BYTES"
+
+#: default budget of the dense-column memo.  One dense column is ``8 * N``
+#: bytes, so the default holds ~1000 columns of an N=2000 database — far
+#: more than any level-wise run touches — while capping the worst case
+#: (millions of rows, thousands of items) at a fixed footprint.
+DEFAULT_DENSE_CACHE_BYTES = 16 << 20
+#: default budget of the cross-level prefix cache.  A prefix column costs
+#: ``16 * nnz`` bytes (rows + probabilities); 32 MiB keeps every frequent
+#: level of the benchmark workloads resident across levels.
+DEFAULT_PREFIX_CACHE_BYTES = 32 << 20
+#: default budget of the occupancy-bitmap cache.  A bitmap is ``N / 8``
+#: bytes — 64x smaller than a dense column — so this effectively never
+#: evicts on realistic databases and exists as a hard safety bound only.
+DEFAULT_BITMAP_CACHE_BYTES = 16 << 20
+
+
+def resolve_budget(env_name: str, default: int) -> int:
+    """Read a byte budget from the environment (missing/empty → default)."""
+    raw = os.environ.get(env_name, "").strip()
+    if not raw:
+        return int(default)
+    budget = int(raw)
+    if budget < 0:
+        raise ValueError(f"{env_name} must be >= 0, got {budget}")
+    return budget
+
+
+def _payload_nbytes(value: Any) -> int:
+    """Byte size of a cached value: an ndarray or a tuple/list of ndarrays."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (tuple, list)):
+        return sum(_payload_nbytes(part) for part in value)
+    return 0
+
+
+class ByteBudgetLRU:
+    """An LRU mapping bounded by the total NumPy payload it retains.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Maximum total payload (``ndarray.nbytes``, summed over tuple/list
+        values).  ``0`` disables the cache entirely (every ``get`` misses,
+        every ``put`` is dropped), which keeps call sites branch-free.
+    """
+
+    __slots__ = ("budget_bytes", "nbytes", "hits", "misses", "_entries")
+
+    def __init__(self, budget_bytes: int) -> None:
+        self.budget_bytes = int(budget_bytes)
+        #: current total payload of the retained values
+        self.nbytes = 0
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value (refreshing its recency) or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``value``, evicting least-recently-used entries over budget.
+
+        A value larger than the whole budget is not retained at all (it
+        would immediately evict everything else for a single-use entry).
+        """
+        size = _payload_nbytes(value)
+        if size > self.budget_bytes:
+            return
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self.nbytes -= _payload_nbytes(previous)
+        self._entries[key] = value
+        self.nbytes += size
+        while self.nbytes > self.budget_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self.nbytes -= _payload_nbytes(evicted)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.nbytes = 0

@@ -25,6 +25,17 @@ Because every per-transaction product is row-local, a view can also be
 shards whose results concatenate back bitwise — the primitive behind the
 partition-parallel engine (:mod:`repro.db.partition`).
 
+Level evaluation additionally runs through the **bitset cascade** (gated by
+``--bitset`` / the ``REPRO_BITSET`` environment variable, default on):
+per-item occupancy is packed into bitmaps (:meth:`ColumnarView.item_bitmap`),
+a whole level's supporting-row counts come from word-wide bitwise AND +
+popcount (:meth:`ColumnarView.level_occupancy_counts`), candidates whose
+count is already below the caller's ``minsup`` are killed before any float
+work, and the survivors resolve their ``k - 1``-prefixes through a
+cross-level byte-budgeted LRU so each costs one gather-and-multiply.  The
+float kernels are untouched, so cascade results are bitwise identical to
+the recursive path.
+
 >>> from repro.db import UncertainDatabase
 >>> db = UncertainDatabase.from_records([{1: 0.5, 2: 0.8}, {1: 1.0}, {2: 0.4}])
 >>> view = db.columnar()
@@ -36,14 +47,35 @@ partition-parallel engine (:mod:`repro.db.partition`).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from .cache import (
+    BITMAP_CACHE_BYTES_ENV,
+    DEFAULT_BITMAP_CACHE_BYTES,
+    DEFAULT_DENSE_CACHE_BYTES,
+    DEFAULT_PREFIX_CACHE_BYTES,
+    DENSE_CACHE_BYTES_ENV,
+    PREFIX_CACHE_BYTES_ENV,
+    ByteBudgetLRU,
+    resolve_budget,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .database import UncertainDatabase
 
-__all__ = ["ColumnarView", "ItemColumn"]
+__all__ = [
+    "ColumnarView",
+    "ItemColumn",
+    "BITSET_ENV",
+    "resolve_bitset",
+    "bitset_scope",
+    "DENSE_CROSSOVER_FRACTION",
+    "popcount_rows",
+]
 
 #: One item column: sorted transaction indices and the matching probabilities.
 ItemColumn = Tuple[np.ndarray, np.ndarray]
@@ -52,6 +84,104 @@ _EMPTY_COLUMN: ItemColumn = (
     np.empty(0, dtype=np.int64),
     np.empty(0, dtype=np.float64),
 )
+_EMPTY_COLUMN[0].flags.writeable = False
+_EMPTY_COLUMN[1].flags.writeable = False
+
+#: environment variable gating the bitset evaluation cascade (default on)
+BITSET_ENV = "REPRO_BITSET"
+
+_BITSET_TRUE = ("", "1", "on", "true", "yes")
+_BITSET_FALSE = ("0", "off", "false", "no")
+
+#: Fraction of the database size above which :meth:`ColumnarView._combine`
+#: switches from the sorted ``searchsorted`` merge to the dense elementwise
+#: product.  Measured on this implementation (see
+#: ``benchmarks/bench_bitset_cascade.py``, which reports the crossover
+#: sweep): with the two operand occupancies summing to ~15-35% of ``N`` the
+#: two kernels are within noise of each other, below that the sparse merge
+#: wins by the ratio of occupancy to ``N``, above it the single O(N)
+#: multiply wins because it avoids the searchsorted log-factor and the mask
+#: gathers.  0.25 sits in the indifference band across N in [2e3, 1e5].
+DENSE_CROSSOVER_FRACTION = 0.25
+
+def popcount_rows(packed: np.ndarray) -> np.ndarray:
+    """Per-row population count of a packed ``(rows, width)`` uint8 bitmap.
+
+    Rows are zero-padded to a multiple of 8 bytes, reinterpreted as uint64
+    words and counted with the branch-free SWAR reduction — ~4x faster
+    than a 256-entry byte lookup table on whole-level bitmaps (measured in
+    ``benchmarks/bench_bitset_cascade.py``).
+
+    >>> popcount_rows(np.array([[0b10110000], [0b11111111]], dtype=np.uint8)).tolist()
+    [3, 8]
+    """
+    n_rows, width = packed.shape
+    pad = (-width) % 8
+    if pad:
+        padded = np.zeros((n_rows, width + pad), dtype=np.uint8)
+        padded[:, :width] = packed
+    else:
+        padded = np.ascontiguousarray(packed)
+    words = padded.view(np.uint64)
+    m1 = np.uint64(0x5555555555555555)
+    m2 = np.uint64(0x3333333333333333)
+    m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    h01 = np.uint64(0x0101010101010101)
+    words = words - ((words >> np.uint64(1)) & m1)
+    words = (words & m2) + ((words >> np.uint64(2)) & m2)
+    words = (words + (words >> np.uint64(4))) & m4
+    return ((words * h01) >> np.uint64(56)).sum(axis=1).astype(np.int64)
+
+
+def resolve_bitset(value: Optional[Union[bool, str]] = None) -> bool:
+    """Resolve the bitset-cascade knob.
+
+    Args:
+        value: Explicit setting — a bool, or one of ``on/off/true/false/
+            1/0/yes/no`` — or ``None`` to consult the ``REPRO_BITSET``
+            environment variable (missing/empty means **on**: the cascade
+            is byte-identical to the recursive path, only faster).
+
+    Returns:
+        Whether the bitset evaluation cascade is enabled.
+
+    >>> resolve_bitset(True), resolve_bitset("off"), resolve_bitset("1")
+    (True, False, True)
+    """
+    if value is None:
+        value = os.environ.get(BITSET_ENV, "")
+    if isinstance(value, bool):
+        return value
+    lowered = str(value).strip().lower()
+    if lowered in _BITSET_TRUE:
+        return True
+    if lowered in _BITSET_FALSE:
+        return False
+    raise ValueError(
+        f"bitset must be one of on/off/true/false/1/0/yes/no, got {value!r}"
+    )
+
+
+@contextmanager
+def bitset_scope(value: Optional[Union[bool, str]]):
+    """Temporarily pin the process-wide bitset default (``None`` = no-op).
+
+    Used by the evaluation runner and the CLI so one run can be forced onto
+    either evaluation path without touching the caller's environment.
+    """
+    if value is None:
+        yield
+        return
+    resolved = resolve_bitset(value)
+    previous = os.environ.get(BITSET_ENV)
+    os.environ[BITSET_ENV] = "on" if resolved else "off"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(BITSET_ENV, None)
+        else:
+            os.environ[BITSET_ENV] = previous
 
 
 class ColumnarView:
@@ -83,8 +213,42 @@ class ColumnarView:
             rows.flags.writeable = False
             probs.flags.writeable = False
             self._columns[item] = (rows, probs)
+        self._init_caches()
+
+    def _init_caches(self) -> None:
+        """(Re)build the lazily filled, byte-budgeted derived-array caches.
+
+        All three caches memoise pure functions of the immutable columns, so
+        dropping them (fresh view, unpickle, eviction) can only cost time,
+        never correctness.
+        """
         #: lazily scattered dense columns, built per item on first dense combine
-        self._dense_columns: Dict[int, np.ndarray] = {}
+        self._dense_columns = ByteBudgetLRU(
+            resolve_budget(DENSE_CACHE_BYTES_ENV, DEFAULT_DENSE_CACHE_BYTES)
+        )
+        #: packed per-item occupancy bitmaps (stage 1 of the cascade)
+        self._bitmaps = ByteBudgetLRU(
+            resolve_budget(BITMAP_CACHE_BYTES_ENV, DEFAULT_BITMAP_CACHE_BYTES)
+        )
+        #: cross-level prefix columns (stage 2 of the cascade): the frequent
+        #: ``k-1``-columns of one level are exactly the join prefixes of the
+        #: next, so persisting them across ``batch_columns`` calls turns a
+        #: full prefix rebuild into a single gather-and-multiply
+        self._prefix_cache = ByteBudgetLRU(
+            resolve_budget(PREFIX_CACHE_BYTES_ENV, DEFAULT_PREFIX_CACHE_BYTES)
+        )
+
+    # -- pickling ----------------------------------------------------------------------
+    def __getstate__(self):
+        # Shard views are shipped to worker processes once per pool; the
+        # derived-array caches are cheap to rebuild and would only bloat the
+        # pickle, so only the authoritative columns travel.
+        return {"n_transactions": self._n_transactions, "columns": self._columns}
+
+    def __setstate__(self, state) -> None:
+        self._n_transactions = state["n_transactions"]
+        self._columns = state["columns"]
+        self._init_caches()
 
     @classmethod
     def from_columns(
@@ -104,7 +268,7 @@ class ColumnarView:
         view = cls.__new__(cls)
         view._n_transactions = int(n_transactions)
         view._columns = dict(columns)
-        view._dense_columns = {}
+        view._init_caches()
         return view
 
     def slice_rows(self, start: int, stop: int) -> "ColumnarView":
@@ -303,18 +467,183 @@ class ColumnarView:
         probs = self.itemset_column(itemset)[1]
         return float((probs * (1.0 - probs)).sum())
 
+    # -- packed occupancy bitmaps (stage 1 of the cascade) -----------------------------
+    def item_bitmap(self, item: int) -> np.ndarray:
+        """Packed occupancy bitmap of ``item``: bit ``i`` set iff ``p_i(item) > 0``.
+
+        The bitmap is ``ceil(N / 8)`` bytes (``np.packbits`` layout: bit 7 of
+        byte 0 is row 0), built once per item and memoised in a
+        byte-budgeted LRU.  Padding bits past row ``N - 1`` are always zero,
+        so bitwise ANDs of bitmaps never create phantom rows.
+        """
+        bitmap = self._bitmaps.get(item)
+        if bitmap is None:
+            occupied = np.zeros(self._n_transactions, dtype=bool)
+            rows, _ = self.column(item)
+            occupied[rows] = True
+            bitmap = np.packbits(occupied)
+            bitmap.flags.writeable = False
+            self._bitmaps.put(item, bitmap)
+        return bitmap
+
+    def level_bitmaps(self, candidates: Sequence[Tuple[int, ...]]) -> np.ndarray:
+        """Packed occupancy of a whole level: one AND-of-members row per candidate.
+
+        Returns:
+            A ``(len(candidates), ceil(N / 8))`` uint8 array; row ``c`` is
+            the bitwise AND of the member bitmaps of ``candidates[c]`` (an
+            empty candidate occupies every row).  The whole level is
+            evaluated with word-wide NumPy ANDs — no float work at all.
+        """
+        candidates = [tuple(candidate) for candidate in candidates]
+        width = (self._n_transactions + 7) // 8
+        packed = np.empty((len(candidates), width), dtype=np.uint8)
+        if not candidates or width == 0:
+            return packed
+        lengths = np.fromiter(
+            (len(candidate) for candidate in candidates),
+            dtype=np.int64,
+            count=len(candidates),
+        )
+        if (lengths == 0).any():
+            full = np.packbits(np.ones(self._n_transactions, dtype=bool))
+            packed[lengths == 0] = full
+        distinct = sorted({item for candidate in candidates for item in candidate})
+        if not distinct:
+            return packed
+        stack = np.stack([self.item_bitmap(item) for item in distinct])
+        distinct_array = np.asarray(distinct, dtype=np.int64)
+        if lengths.min() == lengths.max():
+            # One Apriori level: every candidate has the same length, so the
+            # member lookup is a single (C, k) searchsorted against the
+            # distinct items and the AND reduces over the k id columns.
+            members = np.asarray(candidates, dtype=np.int64)
+            ids = np.searchsorted(distinct_array, members)
+            acc = stack[ids[:, 0]]
+            for position in range(1, members.shape[1]):
+                acc &= stack[ids[:, position]]
+            packed[:] = acc
+            return packed
+        index = {item: position for position, item in enumerate(distinct)}
+        for position in range(int(lengths.max())):
+            has = lengths > position
+            ids = np.fromiter(
+                (
+                    index[candidate[position]]
+                    for candidate, alive in zip(candidates, has)
+                    if alive
+                ),
+                dtype=np.int64,
+                count=int(has.sum()),
+            )
+            if position == 0:
+                packed[has] = stack[ids]
+            else:
+                packed[has] &= stack[ids]
+        return packed
+
+    def level_occupancy_counts(
+        self, candidates: Sequence[Tuple[int, ...]]
+    ) -> np.ndarray:
+        """Supporting-row count of every candidate via bitmap AND + popcount.
+
+        ``counts[c]`` is the number of transactions containing every member
+        of ``candidates[c]`` with positive probability — each candidate's
+        maximum attainable support, computed without touching a single
+        float.  Row-local, so per-shard counts sum to the global count
+        exactly (the property the partitioned kill phase relies on).
+
+        >>> from repro.db import UncertainDatabase
+        >>> db = UncertainDatabase.from_records([{1: 0.5, 2: 0.8}, {1: 1.0}])
+        >>> db.columnar().level_occupancy_counts([(1,), (2,), (1, 2)]).tolist()
+        [2, 1, 1]
+        """
+        if not len(candidates):
+            return np.zeros(0, dtype=np.int64)
+        packed = self.level_bitmaps(candidates)
+        if packed.shape[1] == 0:
+            return np.zeros(len(candidates), dtype=np.int64)
+        return popcount_rows(packed)
+
     # -- batched level evaluation ------------------------------------------------------
     def batch_columns(
-        self, candidates: Sequence[Tuple[int, ...]]
+        self,
+        candidates: Sequence[Tuple[int, ...]],
+        min_count: float = 0.0,
+        bitset: Optional[Union[bool, str]] = None,
     ) -> List[ItemColumn]:
         """Evaluate one Apriori level of candidates with shared prefix reuse.
 
-        Candidates are canonical sorted tuples.  Intersections are memoised
-        per call on every proper prefix, so the ``k - 1``-prefix shared by
-        joined candidates is computed once per prefix rather than once per
-        candidate.  The cache lives only for the duration of the call; its
-        size is bounded by the number of distinct prefixes of the level.
+        Candidates are canonical sorted tuples.  With the bitset cascade
+        enabled (the default; see :func:`resolve_bitset`), evaluation runs
+        in three stages:
+
+        1. when ``min_count > 0``, the whole level's supporting-row counts
+           are computed by bitmap AND + popcount and candidates whose count
+           is already below ``min_count`` are *killed* — they get the empty
+           column without any float work.  Sound for both of the paper's
+           definitions: the count is the maximum attainable support, so
+           ``count < minsup`` implies ``esup < minsup`` (each probability
+           is at most 1) and ``Pr[sup >= minsup] = 0``;
+        2. each survivor resolves its ``k - 1``-prefix through the
+           cross-level byte-budgeted LRU (the frequent columns of the
+           previous level are exactly this level's join prefixes) and pays
+           one :meth:`_combine` gather-and-multiply;
+        3. the float math itself is the unchanged :meth:`_combine` kernel,
+           so survivor columns are bitwise identical to the recursive path.
+
+        With ``bitset`` off, the historical per-call recursion runs instead
+        (every candidate evaluated, no cross-call state) — the comparison
+        baseline of ``benchmarks/bench_bitset_cascade.py``.
         """
+        candidates = [tuple(candidate) for candidate in candidates]
+        if not resolve_bitset(bitset):
+            return self._batch_columns_recursive(candidates)
+        killed = None
+        if min_count > 0 and candidates and self._n_transactions:
+            killed = self.level_occupancy_counts(candidates) < min_count
+        cache: Dict[Tuple[int, ...], ItemColumn] = {}
+        results: List[ItemColumn] = []
+        for position, candidate in enumerate(candidates):
+            if killed is not None and killed[position]:
+                results.append(_EMPTY_COLUMN)
+            else:
+                results.append(self._resolve_cascade(candidate, cache))
+        return results
+
+    def _resolve_cascade(
+        self, itemset: Tuple[int, ...], cache: Dict[Tuple[int, ...], ItemColumn]
+    ) -> ItemColumn:
+        """Resolve one candidate column through per-call and cross-level caches.
+
+        Only genuinely computed columns enter the cross-level cache —
+        stage-1 kills never do, so a later run with a lower threshold can
+        never observe a truncated column.
+        """
+        if len(itemset) == 0:
+            return (
+                np.arange(self._n_transactions, dtype=np.int64),
+                np.ones(self._n_transactions, dtype=np.float64),
+            )
+        if len(itemset) == 1:
+            return self.column(itemset[0])
+        hit = cache.get(itemset)
+        if hit is not None:
+            return hit
+        hit = self._prefix_cache.get(itemset)
+        if hit is None:
+            prefix_rows, prefix_probs = self._resolve_cascade(itemset[:-1], cache)
+            hit = self._combine_gather(prefix_rows, prefix_probs, itemset[-1])
+            hit[0].flags.writeable = False
+            hit[1].flags.writeable = False
+            self._prefix_cache.put(itemset, hit)
+        cache[itemset] = hit
+        return hit
+
+    def _batch_columns_recursive(
+        self, candidates: Sequence[Tuple[int, ...]]
+    ) -> List[ItemColumn]:
+        """The pre-cascade evaluation: per-call prefix memo, no cross-call state."""
         cache: Dict[Tuple[int, ...], ItemColumn] = {}
 
         def resolve(itemset: Tuple[int, ...]) -> ItemColumn:
@@ -329,11 +658,23 @@ class ColumnarView:
 
         return [resolve(tuple(candidate)) for candidate in candidates]
 
-    def batch_vectors(self, candidates: Sequence[Tuple[int, ...]]) -> List[np.ndarray]:
+    def batch_vectors(
+        self,
+        candidates: Sequence[Tuple[int, ...]],
+        min_count: float = 0.0,
+        bitset: Optional[Union[bool, str]] = None,
+    ) -> List[np.ndarray]:
         """The compressed probability vectors of a whole candidate level.
 
         Args:
             candidates: Canonical sorted tuples, typically one Apriori level.
+            min_count: Optional stage-1 kill threshold — candidates whose
+                supporting-row count (maximum attainable support) is below
+                it come back as empty vectors without any float work.  Only
+                pass a threshold the caller's decision rule already implies
+                (``minsup`` for the level-wise miners); ``0`` disables
+                killing.
+            bitset: Cascade override; ``None`` resolves ``REPRO_BITSET``.
 
         Returns:
             One zeros-omitted ``p_i(X)`` vector per candidate, in candidate
@@ -345,10 +686,23 @@ class ColumnarView:
         >>> [v.tolist() for v in db.columnar().batch_vectors([(1,), (2,), (1, 2)])]
         [[0.5], [0.8, 1.0], [0.4]]
         """
-        return [probs for _, probs in self.batch_columns(candidates)]
+        return [
+            probs for _, probs in self.batch_columns(candidates, min_count, bitset)
+        ]
 
     def batch_probabilities(self, candidates: Sequence[Tuple[int, ...]]) -> np.ndarray:
-        """Dense probability matrix, one row per candidate."""
+        """Dense probability matrix, one row per candidate.
+
+        This materialises the full ``(len(candidates), N)`` float64 matrix
+        and exists for consumers that genuinely need per-transaction
+        alignment (inspection, the database-level batch API).  The mining
+        hot paths never call it: every
+        :class:`~repro.core.support.SupportEngine` evaluation — including
+        the batched DP recurrence — is fed zeros-omitted vectors and pads
+        only to the widest *non-zero* width via
+        :func:`~repro.core.support.pack_probability_matrix` (pinned by
+        ``tests/test_support_memory.py``).
+        """
         matrix = np.zeros((len(candidates), self._n_transactions), dtype=np.float64)
         for index, (rows, probs) in enumerate(self.batch_columns(candidates)):
             matrix[index, rows] = probs
@@ -357,14 +711,20 @@ class ColumnarView:
 
     # -- intersection kernels ----------------------------------------------------------
     def _dense_column(self, item: int) -> np.ndarray:
-        """Dense (N,) probability vector of ``item``, scattered once and cached."""
+        """Dense (N,) probability vector of ``item``, scattered once and memoised.
+
+        The memo is byte-budgeted (``REPRO_DENSE_CACHE_BYTES``): a dense
+        column costs ``8 * N`` bytes, so an unbounded per-item dictionary
+        would pin one full float vector per distinct item forever.  Under
+        the LRU, cold items fall out and are rescattered on demand.
+        """
         dense = self._dense_columns.get(item)
         if dense is None:
             dense = np.zeros(self._n_transactions, dtype=np.float64)
             rows, probs = self.column(item)
             dense[rows] = probs
             dense.flags.writeable = False
-            self._dense_columns[item] = dense
+            self._dense_columns.put(item, dense)
         return dense
 
     def _combine(self, rows: np.ndarray, probs: np.ndarray, item: int) -> ItemColumn:
@@ -375,11 +735,14 @@ class ColumnarView:
         the database (one O(N) multiply beats sorting-based set operations on
         dense data), and a sorted-merge ``searchsorted`` intersection that
         keeps the cost proportional to the occurrence counts on sparse data.
+        The crossover point is :data:`DENSE_CROSSOVER_FRACTION` of ``N``.
         """
         other_rows, other_probs = self.column(item)
         if len(rows) == 0 or len(other_rows) == 0:
             return _EMPTY_COLUMN
-        if len(rows) + len(other_rows) >= self._n_transactions // 4:
+        if len(rows) + len(other_rows) >= int(
+            self._n_transactions * DENSE_CROSSOVER_FRACTION
+        ):
             dense = np.zeros(self._n_transactions, dtype=np.float64)
             dense[rows] = probs
             product = dense * self._dense_column(item)
@@ -388,6 +751,39 @@ class ColumnarView:
         if len(rows) > len(other_rows):
             # Probe the smaller operand into the larger; the product order
             # (running probability times item probability) is preserved.
+            positions = np.searchsorted(rows, other_rows)
+            positions[positions == len(rows)] = 0
+            mask = rows[positions] == other_rows
+            return other_rows[mask], probs[positions[mask]] * other_probs[mask]
+        positions = np.searchsorted(other_rows, rows)
+        positions[positions == len(other_rows)] = 0
+        mask = other_rows[positions] == rows
+        return rows[mask], probs[mask] * other_probs[positions[mask]]
+
+    def _combine_gather(self, rows: np.ndarray, probs: np.ndarray, item: int) -> ItemColumn:
+        """Stage-2 kernel: one gather-and-multiply against a cached prefix.
+
+        The cascade resolves a candidate from its cached ``k - 1``-prefix
+        column, so the running ``(rows, probs)`` pair is already compressed;
+        against a dense item the product needs only a gather of the item's
+        probabilities *at the prefix rows* — ``O(len(rows))`` instead of the
+        historical dense kernel's scatter + full-width multiply + ``O(N)``
+        non-zero scan.  Sparse items fall back to the same ``searchsorted``
+        merge as :meth:`_combine`.
+
+        Every multiplication is ``running * item`` on exactly the operands
+        the historical kernels use, and exact-zero products are dropped
+        just as the historical dense kernel's non-zero scan drops them, so
+        the resulting columns are bitwise identical.
+        """
+        other_rows, other_probs = self.column(item)
+        if len(rows) == 0 or len(other_rows) == 0:
+            return _EMPTY_COLUMN
+        if len(other_rows) >= int(self._n_transactions * DENSE_CROSSOVER_FRACTION):
+            product = probs * self._dense_column(item)[rows]
+            mask = product != 0.0
+            return rows[mask], product[mask]
+        if len(rows) > len(other_rows):
             positions = np.searchsorted(rows, other_rows)
             positions[positions == len(rows)] = 0
             mask = rows[positions] == other_rows

@@ -32,13 +32,40 @@ the :class:`~repro.core.parallel.ParallelExecutor` initializer).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .columnar import ColumnarView
+from .columnar import ColumnarView, resolve_bitset
 
-__all__ = ["ColumnarPartition", "shard_bounds"]
+__all__ = ["ColumnarPartition", "shard_bounds", "two_phase_kill"]
+
+_EMPTY_VECTOR = np.empty(0, dtype=np.float64)
+_EMPTY_VECTOR.flags.writeable = False
+
+
+def two_phase_kill(
+    candidates: Sequence[Tuple[int, ...]],
+    counts: np.ndarray,
+    min_count: float,
+    evaluate_alive,
+) -> List[np.ndarray]:
+    """Shared kill phase of every sharded cascade evaluation.
+
+    A shard must never kill against the global threshold on local evidence,
+    so sharded callers first sum per-shard occupancy counts into ``counts``
+    and only then kill globally: candidates below ``min_count`` become the
+    empty vector, the survivors are evaluated through ``evaluate_alive``
+    (serial shard loop or pooled fan-out) and spliced back in candidate
+    order.  One implementation, used by both
+    :meth:`ColumnarPartition.batch_vectors` and
+    :meth:`repro.core.parallel.ParallelExecutor.shard_vectors`, so the two
+    paths cannot drift apart.
+    """
+    alive_mask = counts >= min_count
+    alive = [candidate for candidate, keep in zip(candidates, alive_mask) if keep]
+    merged = iter(evaluate_alive(alive))
+    return [next(merged) if keep else _EMPTY_VECTOR for keep in alive_mask]
 
 
 def shard_bounds(n_transactions: int, n_shards: int) -> List[Tuple[int, int]]:
@@ -105,16 +132,54 @@ class ColumnarPartition:
         return iter(self.shards)
 
     # -- merged level evaluation ---------------------------------------------------
-    def batch_vectors(
+    def level_occupancy_counts(
         self, candidates: Sequence[Tuple[int, ...]]
+    ) -> np.ndarray:
+        """Global supporting-row counts, summed over per-shard bitmap popcounts.
+
+        Each shard builds and ANDs its own packed occupancy bitmaps over its
+        re-based rows; occupancy is row-local, so the per-shard popcounts
+        sum to exactly the unpartitioned
+        :meth:`~repro.db.columnar.ColumnarView.level_occupancy_counts`.
+        """
+        candidates = [tuple(candidate) for candidate in candidates]
+        totals = np.zeros(len(candidates), dtype=np.int64)
+        for shard in self.shards:
+            totals += shard.level_occupancy_counts(candidates)
+        return totals
+
+    def batch_vectors(
+        self,
+        candidates: Sequence[Tuple[int, ...]],
+        min_count: float = 0.0,
+        bitset: Optional[Union[bool, str]] = None,
     ) -> List[np.ndarray]:
         """Compressed probability vectors of a level, merged across shards.
 
         Per-shard vectors are concatenated in shard order; the result is
         bitwise identical to the unpartitioned
         :meth:`~repro.db.columnar.ColumnarView.batch_vectors`.
+
+        With ``min_count > 0`` and the bitset cascade enabled, the kill
+        phase runs in two global steps: per-shard occupancy counts are
+        summed first (a candidate may clear ``min_count`` only across
+        shards, so no shard may kill locally), then only the surviving
+        candidates are evaluated on every shard — the same kill decisions,
+        and the same survivor vectors, as the unpartitioned cascade.
         """
         candidates = [tuple(candidate) for candidate in candidates]
+        if resolve_bitset(bitset) and min_count > 0 and candidates:
+            return two_phase_kill(
+                candidates,
+                self.level_occupancy_counts(candidates),
+                min_count,
+                self._merged_vectors,
+            )
+        return self._merged_vectors(candidates)
+
+    def _merged_vectors(
+        self, candidates: Sequence[Tuple[int, ...]]
+    ) -> List[np.ndarray]:
         per_shard = [shard.batch_vectors(candidates) for shard in self.shards]
         return [
             np.concatenate([vectors[index] for vectors in per_shard])

@@ -9,6 +9,7 @@ and result size, the uniform measures of the paper.
 
 from __future__ import annotations
 
+import functools
 import math
 import time
 from dataclasses import dataclass
@@ -20,10 +21,29 @@ from ..core.registry import get_algorithm
 from ..core.results import MiningResult
 from ..core.topk import mine_topk, truncation_baseline
 from ..datasets.registry import load_dataset
+from ..db.columnar import bitset_scope
 from ..db.database import UncertainDatabase, resolve_backend
 from ..stream import BATCH_EQUIVALENTS, TransactionStream, make_streaming_miner
 from .metrics import compare_results
 from .scenarios import ExperimentSpec, StreamingScenario, TopKScenario
+
+
+def _with_bitset_knob(runner):
+    """Give a runner entry point a keyword-only ``bitset`` knob.
+
+    ``bitset=None`` (the default) leaves the process configuration —
+    ``REPRO_BITSET`` or the default-on cascade — untouched; ``"on"`` /
+    ``"off"`` (or a bool) pins the evaluation path for the duration of the
+    run only.  Results are identical either way; the knob exists so the
+    benchmark harness can time both paths from one process.
+    """
+
+    @functools.wraps(runner)
+    def wrapper(*args, bitset=None, **kwargs):
+        with bitset_scope(bitset):
+            return runner(*args, **kwargs)
+
+    return wrapper
 
 __all__ = [
     "SweepPoint",
@@ -204,6 +224,7 @@ def _mine_point(
     )
 
 
+@_with_bitset_knob
 def run_experiment(
     spec: ExperimentSpec,
     max_points: Optional[int] = None,
@@ -258,6 +279,7 @@ def run_experiment(
     return points
 
 
+@_with_bitset_knob
 def run_streaming_scenario(
     spec: StreamingScenario,
     verify: bool = False,
@@ -323,6 +345,7 @@ def run_streaming_scenario(
     return points
 
 
+@_with_bitset_knob
 def run_topk_scenario(
     spec: TopKScenario,
     verify: bool = False,
@@ -396,6 +419,7 @@ def run_topk_scenario(
     return points
 
 
+@_with_bitset_knob
 def run_accuracy_experiment(
     spec: ExperimentSpec,
     reference_algorithm: str = "dcb",

@@ -35,7 +35,7 @@ from ..algorithms.common import apriori_join, has_infrequent_subset, instrumente
 from ..algorithms.pruning import ChernoffPruner
 from ..core.itemset import Itemset
 from ..core.results import FrequentItemset, MiningResult, MiningStatistics
-from ..core.support import cheap_tail_upper_bound
+from ..core.support import markov_upper_bound, staged_tail_filter
 from ..core.thresholds import ExpectedSupportThreshold, ProbabilisticThreshold
 from ..core.topk import (
     EVALUATOR_RANKINGS,
@@ -336,10 +336,19 @@ class StreamingDP(StreamingMiner):
 
         def evaluate(candidates: Sequence[Candidate]) -> List[Candidate]:
             expected, variance, max_supports = self.index.root_stats(candidates)
+            # Bound-ordered filter-verify, same staging as the batch
+            # cascade: occupancy count, then Markov (one division), then
+            # Chernoff — the merged-PMF tail is only read for candidates no
+            # cheap bound could decide.
             alive = [
                 position
                 for position in range(len(candidates))
                 if max_supports[position] >= min_count
+                and not (
+                    pruner.enabled
+                    and markov_upper_bound(float(expected[position]), min_count)
+                    <= pft
+                )
                 and not pruner.can_prune(float(expected[position]), min_count, pft)
             ]
             if not alive:
@@ -531,11 +540,11 @@ class StreamingTopK(StreamingMiner):
                 if max_supports[position] < min_count:
                     statistics.candidates_pruned += 1
                     continue
-                if self.use_pruning:
-                    bound = cheap_tail_upper_bound(float(expected[position]), min_count)
-                    if bound < floor:
-                        statistics.candidates_pruned += 1
-                        continue
+                if self.use_pruning and staged_tail_filter(
+                    float(expected[position]), min_count, floor
+                ):
+                    statistics.candidates_pruned += 1
+                    continue
                 alive.append(position)
             if not alive:
                 return scored

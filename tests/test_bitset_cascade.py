@@ -1,0 +1,390 @@
+"""The bitset evaluation cascade: bitmaps, kills, caches, knobs, sharding.
+
+Pins the three stages of the cascade against the pre-cascade recursion:
+
+* stage 1 — packed occupancy bitmaps and popcount kill decisions;
+* stage 2 — cross-level byte-budgeted prefix caching (and its bounding);
+* stage 3 — the bound-ordered Markov → Chernoff filter-verify pipeline.
+
+Everything here is exactness-focused; the speed claims live in
+``benchmarks/bench_bitset_cascade.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pruning import ChernoffPruner
+from repro.core.parallel import ParallelExecutor
+from repro.core.support import (
+    SupportEngine,
+    MergeableSupportStats,
+    cheap_tail_upper_bound,
+    chernoff_upper_bound,
+    exact_pmf_dynamic_programming,
+    markov_upper_bound,
+    staged_tail_filter,
+)
+from repro.db import UncertainDatabase
+from repro.db.cache import ByteBudgetLRU
+from repro.db.columnar import (
+    BITSET_ENV,
+    ColumnarView,
+    bitset_scope,
+    popcount_rows,
+    resolve_bitset,
+)
+
+from helpers import make_random_database
+
+
+@pytest.fixture
+def database():
+    return make_random_database(n_transactions=80, n_items=9, density=0.5, seed=31)
+
+
+def _all_levels(view, max_len=3):
+    """Every itemset of the database up to ``max_len`` as candidate tuples."""
+    from itertools import combinations
+
+    items = view.items()
+    candidates = []
+    for k in range(1, max_len + 1):
+        candidates.extend(combinations(items, k))
+    return candidates
+
+
+class TestPopcountAndBitmaps:
+    def test_popcount_rows_matches_unpackbits(self):
+        rng = np.random.default_rng(3)
+        packed = rng.integers(0, 256, size=(17, 13), dtype=np.uint8)
+        expected = np.unpackbits(packed, axis=1).sum(axis=1)
+        assert popcount_rows(packed).tolist() == expected.tolist()
+
+    def test_item_bitmap_matches_column(self, database):
+        view = database.columnar()
+        for item in view.items():
+            bitmap = view.item_bitmap(item)
+            rows = np.flatnonzero(np.unpackbits(bitmap)[: len(database)])
+            assert rows.tolist() == view.column(item)[0].tolist()
+
+    def test_level_occupancy_counts_match_vector_nonzeros(self, database):
+        view = database.columnar()
+        candidates = _all_levels(view)
+        counts = view.level_occupancy_counts(candidates)
+        vectors = view.batch_vectors(candidates, bitset="off")
+        for candidate, count, vector in zip(candidates, counts, vectors):
+            assert count == np.count_nonzero(vector), candidate
+
+    def test_empty_candidate_occupies_every_row(self, database):
+        view = database.columnar()
+        counts = view.level_occupancy_counts([(), (view.items()[0],)])
+        assert counts[0] == len(database)
+
+    def test_ragged_and_uniform_level_bitmaps_agree(self, database):
+        view = database.columnar()
+        items = view.items()
+        ragged = [(items[0],), (items[0], items[1]), (items[0], items[1], items[2])]
+        ragged_counts = view.level_occupancy_counts(ragged)
+        for candidate, count in zip(ragged, ragged_counts):
+            assert count == view.level_occupancy_counts([candidate])[0]
+
+    def test_empty_database_and_empty_level(self):
+        empty = UncertainDatabase.from_records([])
+        view = empty.columnar()
+        assert view.level_occupancy_counts([]).tolist() == []
+        assert view.level_occupancy_counts([(1,), (1, 2)]).tolist() == [0, 0]
+        assert view.batch_vectors([(1,)], min_count=1) [0].tolist() == []
+
+
+class TestCascadeEquivalence:
+    def test_batch_columns_bitwise_identical_to_recursive(self, database):
+        view = database.columnar()
+        candidates = _all_levels(view)
+        on = view.batch_columns(candidates, bitset="on")
+        off = view.batch_columns(candidates, bitset="off")
+        for (rows_on, probs_on), (rows_off, probs_off) in zip(on, off):
+            assert np.array_equal(rows_on, rows_off)
+            assert np.array_equal(probs_on, probs_off)
+
+    def test_kill_threshold_returns_empty_columns_only_below_count(self, database):
+        view = database.columnar()
+        candidates = _all_levels(view)
+        counts = view.level_occupancy_counts(candidates)
+        min_count = int(np.median(counts)) + 1
+        killed = view.batch_vectors(candidates, min_count=min_count)
+        reference = view.batch_vectors(candidates, bitset="off")
+        for count, vector, full in zip(counts, killed, reference):
+            if count < min_count:
+                assert len(vector) == 0
+            else:
+                assert np.array_equal(vector, full)
+
+    def test_kill_is_sound_for_both_definitions(self, database):
+        # A killed candidate could never be frequent: its expected support
+        # is bounded by the count, and its exact tail at min_count is zero.
+        view = database.columnar()
+        candidates = _all_levels(view)
+        counts = view.level_occupancy_counts(candidates)
+        vectors = view.batch_vectors(candidates, bitset="off")
+        min_count = int(np.median(counts)) + 1
+        for count, vector in zip(counts, vectors):
+            if count < min_count:
+                assert float(vector.sum()) < min_count
+                pmf = exact_pmf_dynamic_programming(vector)
+                assert float(pmf[min_count:].sum()) == 0.0
+
+    def test_cross_level_prefix_cache_serves_second_call(self, database):
+        view = ColumnarView(database)
+        pairs = [(0, 1), (0, 2), (1, 2)]
+        triples = [(0, 1, 2)]
+        first = view.batch_columns(pairs)
+        hits_before = view._prefix_cache.hits
+        second = view.batch_columns(triples)
+        assert view._prefix_cache.hits > hits_before  # (0, 1) reused as prefix
+        expected = view.batch_columns(triples, bitset="off")
+        assert np.array_equal(second[0][1], expected[0][1])
+        assert np.array_equal(first[0][1], view.batch_columns(pairs, bitset="off")[0][1])
+
+    def test_killed_candidates_never_poison_the_prefix_cache(self, database):
+        # A stage-1 kill returns the empty column; a later, lower-threshold
+        # run must still see the candidate's true column.
+        view = ColumnarView(database)
+        candidates = _all_levels(view, max_len=2)
+        counts = view.level_occupancy_counts(candidates)
+        min_count = int(counts.max())  # kills almost everything
+        view.batch_columns(candidates, min_count=min_count)
+        full = view.batch_columns(candidates)  # no threshold: true columns
+        reference = view.batch_columns(candidates, bitset="off")
+        for (rows_a, probs_a), (rows_b, probs_b) in zip(full, reference):
+            assert np.array_equal(rows_a, rows_b)
+            assert np.array_equal(probs_a, probs_b)
+
+    def test_single_itemset_queries_unchanged(self, database):
+        view = database.columnar()
+        for itemset in [(0,), (0, 1), (1, 2, 3), ()]:
+            on = view.itemset_column(itemset)
+            with bitset_scope("off"):
+                off = view.itemset_column(itemset)
+            assert np.array_equal(on[0], off[0])
+            assert np.array_equal(on[1], off[1])
+
+
+class TestShardedCascade:
+    def test_partition_counts_sum_to_global(self, database):
+        view = database.columnar()
+        partition = database.partition(3)
+        candidates = _all_levels(view)
+        assert np.array_equal(
+            partition.level_occupancy_counts(candidates),
+            view.level_occupancy_counts(candidates),
+        )
+
+    def test_partition_kill_uses_global_counts(self):
+        # Candidate (1,) has one supporting row in each of two shards; a
+        # min_count of 2 is only reachable globally — per-shard evidence
+        # alone would kill it and corrupt the concatenated vector.
+        db = UncertainDatabase.from_records(
+            [{1: 0.5}, {2: 0.25}, {1: 0.75}, {2: 1.0}]
+        )
+        partition = db.partition(2)
+        vectors = partition.batch_vectors([(1,), (1, 2)], min_count=2)
+        assert vectors[0].tolist() == [0.5, 0.75]
+        assert vectors[1].tolist() == []  # truly below min_count globally
+
+    def test_partition_batch_vectors_match_serial_cascade(self, database):
+        view = database.columnar()
+        partition = database.partition(4)
+        candidates = _all_levels(view)
+        min_count = 5
+        serial = view.batch_vectors(candidates, min_count=min_count)
+        sharded = partition.batch_vectors(candidates, min_count=min_count)
+        for left, right in zip(serial, sharded):
+            assert np.array_equal(left, right)
+
+    def test_executor_shard_vectors_with_kill(self, database):
+        candidates = _all_levels(database.columnar())
+        min_count = 5
+        serial = database.columnar().batch_vectors(candidates, min_count=min_count)
+        with ParallelExecutor(1, shard_views=database.partition(3).shards) as executor:
+            fanned = executor.shard_vectors(candidates, min_count=min_count)
+        for left, right in zip(serial, fanned):
+            assert np.array_equal(left, right)
+
+    def test_mergeable_stats_carry_additive_occupancy_counts(self, database):
+        view = database.columnar()
+        candidates = _all_levels(view, max_len=2)
+        stats = MergeableSupportStats.from_partition(
+            database.partition(3), candidates
+        )
+        assert stats.occupancy_counts is not None
+        assert np.array_equal(
+            stats.occupancy_counts, view.level_occupancy_counts(candidates)
+        )
+
+    def test_shard_pickling_drops_caches(self, database):
+        view = database.columnar()
+        view.batch_vectors(_all_levels(view), min_count=3)  # fill every cache
+        assert len(view._prefix_cache) > 0 and len(view._bitmaps) > 0
+        clone = pickle.loads(pickle.dumps(view))
+        assert len(clone._prefix_cache) == 0
+        assert len(clone._bitmaps) == 0
+        assert len(clone._dense_columns) == 0
+        candidates = _all_levels(view)
+        for left, right in zip(
+            clone.batch_vectors(candidates), view.batch_vectors(candidates)
+        ):
+            assert np.array_equal(left, right)
+
+
+class TestByteBudgetCaches:
+    def test_lru_eviction_order_and_budget(self):
+        cache = ByteBudgetLRU(budget_bytes=64)
+        cache.put("a", np.zeros(4))
+        cache.put("b", np.zeros(4))
+        assert cache.get("a") is not None  # refresh "a"; "b" is now coldest
+        cache.put("c", np.zeros(4))
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.nbytes <= 64
+
+    def test_oversized_value_is_not_retained(self):
+        cache = ByteBudgetLRU(budget_bytes=16)
+        cache.put("big", np.zeros(100))
+        assert len(cache) == 0
+
+    def test_zero_budget_disables_caching(self):
+        cache = ByteBudgetLRU(budget_bytes=0)
+        cache.put("a", np.zeros(1))
+        assert cache.get("a") is None
+
+    def test_prefix_cache_budget_is_respected_and_only_costs_time(
+        self, database, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_PREFIX_CACHE_BYTES", "256")
+        view = ColumnarView(database)
+        candidates = _all_levels(view)
+        first = view.batch_vectors(candidates)
+        assert view._prefix_cache.nbytes <= 256
+        second = view.batch_vectors(candidates)
+        reference = view.batch_vectors(candidates, bitset="off")
+        for a, b, c in zip(first, second, reference):
+            assert np.array_equal(a, c) and np.array_equal(b, c)
+
+    def test_dense_memo_is_bounded(self, database, monkeypatch):
+        monkeypatch.setenv("REPRO_DENSE_CACHE_BYTES", str(len(database) * 8 * 2))
+        view = ColumnarView(database)
+        for item in view.items():
+            view._dense_column(item)
+        assert len(view._dense_columns) <= 2
+        assert view._dense_columns.nbytes <= len(database) * 8 * 2
+
+
+class TestBitsetKnob:
+    def test_resolve_values(self):
+        assert resolve_bitset(None) is True  # default on
+        assert resolve_bitset(True) and not resolve_bitset(False)
+        for raw in ("on", "1", "true", "YES"):
+            assert resolve_bitset(raw) is True
+        for raw in ("off", "0", "false", "No"):
+            assert resolve_bitset(raw) is False
+        with pytest.raises(ValueError):
+            resolve_bitset("maybe")
+
+    def test_env_variable_and_scope(self, monkeypatch):
+        monkeypatch.setenv(BITSET_ENV, "off")
+        assert resolve_bitset(None) is False
+        with bitset_scope("on"):
+            assert resolve_bitset(None) is True
+        assert resolve_bitset(None) is False
+        monkeypatch.delenv(BITSET_ENV)
+        with bitset_scope("off"):
+            assert resolve_bitset(None) is False
+        assert os.environ.get(BITSET_ENV) is None
+
+    def test_cli_accepts_bitset_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "mine",
+                "--dataset",
+                "accident",
+                "--scale",
+                "0.0005",
+                "--algorithm",
+                "uapriori",
+                "--min-esup",
+                "0.3",
+                "--bitset",
+                "off",
+            ]
+        )
+        assert code == 0
+        assert "frequent itemsets" in capsys.readouterr().out
+
+
+class TestBoundOrderedVerify:
+    def test_markov_bound_is_sound(self):
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            vector = rng.uniform(0.0, 1.0, size=rng.integers(1, 40))
+            min_count = int(rng.integers(1, len(vector) + 2))
+            exact = float(
+                exact_pmf_dynamic_programming(vector)[min_count:].sum()
+            )
+            assert exact <= markov_upper_bound(float(vector.sum()), min_count) + 1e-12
+
+    def test_staged_filter_matches_min_bound_decision(self):
+        rng = np.random.default_rng(12)
+        for _ in range(200):
+            expected = float(rng.uniform(0.0, 30.0))
+            min_count = int(rng.integers(0, 40))
+            floor = float(rng.uniform(0.0, 1.0))
+            combined = cheap_tail_upper_bound(expected, min_count)
+            assert staged_tail_filter(expected, min_count, floor) == (
+                combined < floor
+            )
+
+    def test_undecided_after_bounds_never_drops_a_frequent_candidate(self):
+        rng = np.random.default_rng(13)
+        vectors = [rng.uniform(0.0, 1.0, size=rng.integers(0, 30)) for _ in range(60)]
+        engine = SupportEngine(vectors)
+        min_count, pft = 6, 0.4
+        undecided = set(engine.undecided_after_bounds(min_count, pft))
+        for index, vector in enumerate(vectors):
+            exact = float(exact_pmf_dynamic_programming(vector)[min_count:].sum())
+            if exact > pft:
+                assert index in undecided, (index, exact)
+
+    def test_bounds_disabled_only_applies_count_filter(self):
+        vectors = [np.array([0.2, 0.2]), np.array([0.9] * 6), np.zeros(0)]
+        engine = SupportEngine(vectors)
+        undecided = engine.undecided_after_bounds(2, 0.9, use_bounds=False)
+        assert undecided == [0, 1]  # the empty vector fails the count filter
+
+    def test_pruner_accounting_covers_chernoff_stage_only(self):
+        vectors = [np.full(20, 0.05), np.full(20, 0.9)]
+        engine = SupportEngine(vectors)
+        pruner = ChernoffPruner(enabled=True)
+        notes = {}
+        min_count, pft = 10, 0.5
+        undecided = engine.undecided_after_bounds(
+            min_count, pft, pruner=pruner, notes=notes
+        )
+        # candidate 0: markov bound = 1/10 = 0.1 <= pft, killed before Chernoff
+        assert notes["markov_pruned"] == 1.0
+        assert pruner.tested == 1  # only candidate 1 reached the Chernoff stage
+        assert undecided == [1]
+        assert chernoff_upper_bound(18.0, min_count) > pft  # sanity of the setup
+
+
+class TestEngineEmptyFastPaths:
+    def test_moments_and_counts_of_killed_vectors(self):
+        engine = SupportEngine([np.zeros(0), np.array([0.5, 0.25])])
+        assert engine.expected_supports().tolist() == [0.0, 0.75]
+        assert engine.variances().tolist() == [0.0, 0.25 + 0.1875]
+        assert engine.nonzero_counts().tolist() == [0, 2]

@@ -1,11 +1,10 @@
 """Run the documented modules' doctests inside the tier-1 suite.
 
-The CI docs job executes ``python -m doctest`` over the modules that can be
-loaded standalone (no runtime relative imports):
-``src/repro/core/support.py`` and ``src/repro/db/columnar.py``.  This test
-covers those *and* the modules that can only be doctested as package
-members (``repro.core.parallel``, ``repro.db.partition``), so the examples
-stay runnable even when CI is not involved.
+The CI docs job imports the documented modules as package members and runs
+``doctest.testmod`` over each (a plain ``python -m doctest path.py`` can no
+longer load ``db/columnar.py`` standalone — it has runtime relative imports
+since the bitset cascade).  This test pins the same set inside the tier-1
+suite, so the examples stay runnable even when CI is not involved.
 """
 
 from __future__ import annotations
@@ -16,6 +15,7 @@ import pytest
 
 import repro.core.parallel
 import repro.core.support
+import repro.db.cache
 import repro.db.columnar
 import repro.db.partition
 import repro.stream.index
@@ -24,6 +24,7 @@ import repro.stream.window
 DOCUMENTED_MODULES = [
     repro.core.parallel,
     repro.core.support,
+    repro.db.cache,
     repro.db.columnar,
     repro.db.partition,
     repro.stream.index,
