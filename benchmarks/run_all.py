@@ -37,6 +37,7 @@ BENCHES = {
     "bench_backend_columnar": "backend_columnar",
     "bench_parallel_scaling": "parallel_scaling",
     "bench_stream_window": "stream_window",
+    "bench_store_fanout": "store_fanout",
     "bench_topk": "topk",
     "bench_table4_probability_methods": "table4_probability_methods",
     "bench_ablation_convolution": "ablation_convolution",
@@ -62,6 +63,7 @@ BENCHES = {
 QUICK = [
     "bench_bitset_cascade",
     "bench_backend_columnar",
+    "bench_store_fanout",
     "bench_table4_probability_methods",
     "bench_ablation_convolution",
     "bench_definition_unification",
@@ -83,20 +85,62 @@ def run_bench(module: str, max_points: int | None) -> bool:
     return completed.returncode == 0
 
 
-def aggregate(summary_path: Path) -> int:
-    """Fold every BENCH_*.json under benchmarks/results into the summary."""
+def _condense(document: dict) -> dict:
+    """The trajectory-relevant slice of one benchmark document.
+
+    History points keep only the measured numbers (timings, speedups and
+    any asserted ratios); the full latest documents — configs included —
+    live under the summary's ``benches`` key.
+    """
+    return {
+        key: document[key]
+        for key in ("timings", "speedups", "ratios", "metrics")
+        if key in document
+    }
+
+
+def aggregate(summary_path: Path, max_points: int | None = None) -> int:
+    """Fold every BENCH_*.json under benchmarks/results into the summary.
+
+    The summary keeps the full latest documents under ``benches`` and
+    *appends* a condensed per-run point under ``history`` with a
+    monotonically increasing ``run`` index, so successive invocations build
+    the performance trajectory instead of overwriting it.  ``max_points``
+    (the ``--max-history`` flag — distinct from ``--max-points``, which
+    truncates the *sweeps*) trims the history to its most recent points.
+    """
     benches = {}
     for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
         document = json.loads(path.read_text())
         benches[document.get("bench", path.stem[len("BENCH_") :])] = document
+    history = []
+    if summary_path.exists():
+        try:
+            history = json.loads(summary_path.read_text()).get("history", [])
+        except (json.JSONDecodeError, AttributeError):
+            history = []
+    last_run = max((int(point.get("run", 0)) for point in history), default=0)
+    history.append(
+        {
+            "run": last_run + 1,
+            "environment": environment_stamp(),
+            "benches": {name: _condense(doc) for name, doc in benches.items()},
+        }
+    )
+    if max_points is not None and max_points > 0:
+        history = history[-max_points:]
     summary = {
         "schema": SCHEMA_VERSION,
         "environment": environment_stamp(),
         "n_benches": len(benches),
         "benches": benches,
+        "history": history,
     }
     summary_path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
-    print(f"aggregated {len(benches)} benchmark documents into {summary_path}")
+    print(
+        f"aggregated {len(benches)} benchmark documents into {summary_path} "
+        f"(history point {last_run + 1}, {len(history)} retained)"
+    )
     return len(benches)
 
 
@@ -117,6 +161,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--max-points", type=int, default=None, help="truncate sweeps (quick mode)"
+    )
+    parser.add_argument(
+        "--max-history",
+        type=int,
+        default=50,
+        help="retain at most this many trajectory points in the summary history",
     )
     parser.add_argument(
         "--summary",
@@ -143,7 +193,7 @@ def main(argv=None) -> int:
             if not run_bench(module, args.max_points):
                 failures.append(module)
 
-    aggregate(Path(args.summary))
+    aggregate(Path(args.summary), args.max_history)
     if failures:
         print(f"FAILED: {', '.join(failures)}")
         return 1

@@ -23,6 +23,11 @@ Five subcommands cover the common workflows:
     Replay a dataset as a transaction stream through a sliding window and
     re-emit the frequent set after every slide (incremental maintenance;
     ``--verify`` additionally batch-mines each window and checks agreement).
+
+``repro-mine store-build``
+    Persist a dataset as an out-of-core memory-mapped columnar store
+    (:mod:`repro.db.store`); ``repro-mine mine --store DIR`` then mines it
+    off the mapped planes without loading the data into RAM.
 """
 
 from __future__ import annotations
@@ -32,8 +37,10 @@ import sys
 from typing import List, Optional
 
 from .core.miner import mine
+from .core.parallel import fanout_scope
 from .core.registry import algorithm_names, get_algorithm
 from .db.columnar import bitset_scope
+from .db.store import ColumnarStore, resolve_store_path
 from .core.topk import (
     mine_topk,
     ranking_of,
@@ -66,6 +73,18 @@ def build_parser() -> argparse.ArgumentParser:
     mine_parser.add_argument("--algorithm", "-a", default="uapriori", help="algorithm name")
     mine_parser.add_argument(
         "--dataset", "-d", default="accident", help="benchmark dataset name or path to an item:probability file"
+    )
+    mine_parser.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "mine an out-of-core columnar store (see store-build) instead of "
+            "--dataset; with no DIR, the REPRO_STORE environment variable "
+            "supplies the directory"
+        ),
     )
     mine_parser.add_argument("--scale", type=float, default=0.002, help="benchmark scale factor")
     mine_parser.add_argument("--min-esup", type=float, default=None, help="minimum expected support")
@@ -176,6 +195,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="probability-evaluation backend of the --verify batch runs",
     )
     _add_parallel_arguments(stream_parser)
+
+    store_parser = subparsers.add_parser(
+        "store-build",
+        help="persist a dataset as an out-of-core memory-mapped columnar store",
+    )
+    store_parser.add_argument(
+        "--dataset", "-d", default="accident", help="benchmark dataset name or path to an item:probability file"
+    )
+    store_parser.add_argument("--scale", type=float, default=0.002, help="benchmark scale factor")
+    store_parser.add_argument(
+        "--out", "-o", required=True, metavar="DIR", help="target store directory"
+    )
+    store_parser.add_argument(
+        "--no-bitmaps",
+        action="store_true",
+        help="skip the packed occupancy-bitmap plane (smaller store, slower cascade)",
+    )
     return parser
 
 
@@ -208,6 +244,16 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
             "(default: REPRO_BITSET or on; results are identical either way)"
         ),
     )
+    parser.add_argument(
+        "--fanout",
+        choices=["auto", "shm", "pickle"],
+        default=None,
+        help=(
+            "shard dispatch to worker processes: shared-memory/manifest "
+            "descriptors (auto, zero-copy) or legacy whole-view pickles "
+            "(default: REPRO_FANOUT or auto; results are identical either way)"
+        ),
+    )
 
 
 def _command_list() -> int:
@@ -221,11 +267,17 @@ def _command_list() -> int:
     return 0
 
 
-def _command_mine(args: argparse.Namespace) -> int:
+def _load_mine_database(args: argparse.Namespace):
+    if getattr(args, "store", None) is not None:
+        directory = resolve_store_path(args.store or None)
+        return ColumnarStore.open(directory).database()
     if args.dataset in dataset_names():
-        database = load_dataset(args.dataset, scale=args.scale)
-    else:
-        database = read_uncertain(args.dataset, name=args.dataset)
+        return load_dataset(args.dataset, scale=args.scale)
+    return read_uncertain(args.dataset, name=args.dataset)
+
+
+def _command_mine(args: argparse.Namespace) -> int:
+    database = _load_mine_database(args)
 
     info = get_algorithm(args.algorithm)
     if info.family == "expected":
@@ -464,12 +516,37 @@ def _command_stream_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_store_build(args: argparse.Namespace) -> int:
+    if args.dataset in dataset_names():
+        database = load_dataset(args.dataset, scale=args.scale)
+    else:
+        database = read_uncertain(args.dataset, name=args.dataset)
+    store = ColumnarStore.save(
+        database, args.out, with_bitmaps=not args.no_bitmaps
+    )
+    statistics = database.stats()
+    print(
+        f"store-build: {len(database)} transactions, "
+        f"{statistics.n_items} items, {store.nnz} units -> {store.directory}"
+    )
+    print(
+        f"  planes {store.data_nbytes} bytes on disk, "
+        f"manifest {store.manifest_nbytes} bytes "
+        f"(mine with: repro-mine mine --store {store.directory})"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``repro-mine`` console script."""
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _command_list()
-    with bitset_scope(getattr(args, "bitset", None)):
+    if args.command == "store-build":
+        return _command_store_build(args)
+    with bitset_scope(getattr(args, "bitset", None)), fanout_scope(
+        getattr(args, "fanout", None)
+    ):
         if args.command == "mine":
             return _command_mine(args)
         if args.command == "mine-topk":

@@ -24,13 +24,33 @@ The process backend uses :class:`multiprocessing.pool.Pool` with a
 fork-preferring context; shard views are shipped to the workers once (pool
 initializer) rather than per task, and per-shard results are memoised on
 the coordinator so repeated level evaluations are free.
+
+**Zero-copy fan-out.**  Shards never cross the process boundary as data.
+The pool initializer receives a list of O(bytes)-sized *descriptors*, one
+per shard, which each worker resolves locally:
+
+* a memory-mapped shard (``repro.db.store``) travels as its
+  ``(directory, start, stop)`` store source and is re-mapped on arrival;
+* an in-RAM shard is packed once into a ``multiprocessing.shared_memory``
+  segment by the coordinator and workers attach read-only views, so all
+  workers share one physical copy;
+* ``REPRO_FANOUT=pickle`` restores the legacy whole-view pickle for
+  in-RAM shards (mapped shards are *already* descriptors).
+
+Attachment is verified, not assumed: a vanished store directory fails the
+dispatch on the coordinator before the pool spawns, and a vanished
+shared-memory segment surfaces as a clear ``RuntimeError`` from the first
+task instead of an initializer crash-loop.  Segments are always unlinked
+on ``close()``/``terminate()``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -45,8 +65,11 @@ __all__ = [
     "ParallelExecutor",
     "WORKERS_ENV",
     "SHARDS_ENV",
+    "FANOUT_ENV",
     "resolve_workers",
     "resolve_shards",
+    "resolve_fanout",
+    "fanout_scope",
     "even_chunks",
 ]
 
@@ -54,6 +77,59 @@ __all__ = [
 WORKERS_ENV = "REPRO_WORKERS"
 #: environment variable supplying the default shard count
 SHARDS_ENV = "REPRO_SHARDS"
+#: environment variable supplying the default fan-out mode
+FANOUT_ENV = "REPRO_FANOUT"
+
+_FANOUT_MODES = ("auto", "shm", "pickle")
+
+
+def resolve_fanout(value: Optional[str] = None) -> str:
+    """Resolve the shard fan-out mode.
+
+    Args:
+        value: Explicit mode — ``auto`` (shared memory for in-RAM shards,
+            store descriptors for mapped shards), ``shm`` (same as auto
+            today, named for explicitness) or ``pickle`` (legacy whole-view
+            pickling of in-RAM shards) — or ``None`` to consult the
+            ``REPRO_FANOUT`` environment variable (missing/empty means
+            ``auto``).
+
+    >>> resolve_fanout("shm"), resolve_fanout("PICKLE")
+    ('shm', 'pickle')
+    """
+    if value is None:
+        value = os.environ.get(FANOUT_ENV, "")
+    lowered = str(value).strip().lower()
+    if not lowered:
+        return "auto"
+    if lowered in _FANOUT_MODES:
+        return lowered
+    raise ValueError(
+        f"fanout must be one of {'/'.join(_FANOUT_MODES)}, got {value!r}"
+    )
+
+
+@contextmanager
+def fanout_scope(value: Optional[str]):
+    """Temporarily pin the process-wide fan-out default (``None`` = no-op).
+
+    Mirrors :func:`repro.db.columnar.bitset_scope`: the CLI and the
+    benchmarks use it to force one run onto a specific dispatch path
+    without touching the caller's environment.
+    """
+    if value is None:
+        yield
+        return
+    resolved = resolve_fanout(value)
+    previous = os.environ.get(FANOUT_ENV)
+    os.environ[FANOUT_ENV] = resolved
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(FANOUT_ENV, None)
+        else:
+            os.environ[FANOUT_ENV] = previous
 
 
 def _available_cpus() -> int:
@@ -149,21 +225,55 @@ def even_chunks(items: Sequence[Any], n_chunks: int) -> List[Sequence[Any]]:
 
 # -- worker-process kernels --------------------------------------------------------
 # Pool tasks must be module-level functions (picklable under both the fork
-# and spawn start methods).  Shard views are installed once per worker
-# process by the pool initializer; tasks then reference them by index so a
-# level evaluation ships only the candidate list.
+# and spawn start methods).  Shard descriptors are resolved into views once
+# per worker process by the pool initializer; tasks then reference them by
+# index so a level evaluation ships only the candidate list.
 
 _WORKER_SHARDS: Optional[Sequence[Any]] = None
+#: attachment failure recorded by the initializer — raising there instead
+#: would make the pool respawn (and re-fail) workers in a tight loop, so
+#: the error is surfaced from the first task that needs the shards.
+_WORKER_ATTACH_ERROR: Optional[str] = None
+
+_SHARD_ENTRY_TAGS = ("view", "shm", "store")
 
 
-def _install_worker_shards(shards: Optional[Sequence[Any]]) -> None:
-    global _WORKER_SHARDS
-    _WORKER_SHARDS = shards
+def _resolve_shard_entry(entry: Any) -> Any:
+    """Materialise one dispatch entry into a queryable shard view."""
+    if isinstance(entry, tuple) and entry and entry[0] in _SHARD_ENTRY_TAGS:
+        tag = entry[0]
+        if tag == "view":
+            return entry[1]
+        if tag == "shm":
+            from ..db.store import attach_shard_segment
+
+            return attach_shard_segment(entry[1])
+        from ..db.store import ColumnarStore
+
+        _, directory, start, stop = entry
+        return ColumnarStore.open(directory).view(start, stop)
+    # Raw shard views (executors constructed outside the dispatch-payload
+    # path, e.g. in tests) install as-is.
+    return entry
+
+
+def _install_worker_shards(payload: Optional[Sequence[Any]]) -> None:
+    global _WORKER_SHARDS, _WORKER_ATTACH_ERROR
+    _WORKER_SHARDS = None
+    _WORKER_ATTACH_ERROR = None
+    if payload is None:
+        return
+    try:
+        _WORKER_SHARDS = [_resolve_shard_entry(entry) for entry in payload]
+    except Exception as error:
+        _WORKER_ATTACH_ERROR = f"{type(error).__name__}: {error}"
 
 
 def _shard_method_task(payload: Tuple[int, str, tuple, dict]) -> Any:
     index, method, args, kwargs = payload
-    assert _WORKER_SHARDS is not None, "worker pool initialized without shards"
+    if _WORKER_SHARDS is None:
+        detail = _WORKER_ATTACH_ERROR or "worker pool initialized without shards"
+        raise RuntimeError(f"shard attachment failed in worker: {detail}")
     return getattr(_WORKER_SHARDS[index], method)(*args, **kwargs)
 
 
@@ -215,6 +325,8 @@ class ParallelExecutor:
             interactive session or a re-entrant evaluation); the default is
             kept small so an unlucky workload cannot pin whole levels of
             vectors in memory.
+        fanout: Shard fan-out mode (resolved through :func:`resolve_fanout`
+            at dispatch time; ``None`` consults ``REPRO_FANOUT``).
     """
 
     def __init__(
@@ -222,12 +334,16 @@ class ParallelExecutor:
         workers: Optional[int] = None,
         shard_views: Optional[Sequence[Any]] = None,
         cache_size: int = 4,
+        fanout: Optional[str] = None,
     ) -> None:
         self.workers = resolve_workers(workers)
         self._shard_views: Optional[List[Any]] = (
             list(shard_views) if shard_views is not None else None
         )
+        self._fanout = fanout
         self._pool = None
+        self._payload: Optional[List[Any]] = None
+        self._segments: List[Any] = []
         self._cache: "OrderedDict[Any, Any]" = OrderedDict()
         self._cache_size = int(cache_size)
         #: number of per-shard results served from the coordinator cache
@@ -253,6 +369,7 @@ class ParallelExecutor:
             self._pool.close()
             self._pool.join()
             self._pool = None
+        self._release_segments()
 
     def terminate(self) -> None:
         """Kill the worker pool immediately (idempotent).
@@ -266,6 +383,21 @@ class ParallelExecutor:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        self._release_segments()
+
+    def _release_segments(self) -> None:
+        """Unlink every shared-memory segment this executor exported.
+
+        Runs on **both** shutdown paths (and is idempotent): a segment that
+        outlives its executor is a leaked file in ``/dev/shm`` that no
+        process will ever reclaim.  Workers are gone (or moribund) by the
+        time this runs, so unlinking cannot strand a reader — attached
+        mappings stay valid until the attaching process exits regardless.
+        """
+        for segment in self._segments:
+            segment.destroy()
+        self._segments = []
+        self._payload = None
 
     def __enter__(self) -> "ParallelExecutor":
         return self
@@ -287,8 +419,73 @@ class ParallelExecutor:
         except Exception:
             pass
 
+    def _dispatch_payload(self) -> Optional[List[Any]]:
+        """The per-shard descriptor list shipped through the pool initializer.
+
+        Built once per pool lifetime and memoised.  Entry shapes (resolved
+        by :func:`_resolve_shard_entry` inside each worker):
+
+        * ``("store", directory, start, stop)`` — a memory-mapped shard;
+          workers re-open the manifest.  Always used for mapped shards:
+          they are descriptor-sized by construction, and pickling one
+          under ``fanout=pickle`` would still ship no data.
+        * ``("shm", descriptor)`` — an in-RAM shard exported into a
+          shared-memory segment (``auto``/``shm`` fan-out).  The exported
+          :class:`~repro.db.store.ShardSegment` handles are retained on
+          the executor for unlinking at shutdown.
+        * ``("view", view)`` — the legacy whole-view pickle
+          (``fanout=pickle``).
+        """
+        if self._payload is not None:
+            return self._payload
+        if self._shard_views is None:
+            return None
+        mode = resolve_fanout(self._fanout)
+        payload: List[Any] = []
+        for view in self._shard_views:
+            source = getattr(view, "store_source", None)
+            if source is not None:
+                directory, start, stop = source
+                payload.append(("store", directory, start, stop))
+            elif mode == "pickle":
+                payload.append(("view", view))
+            else:
+                from ..db.store import export_shard_segment
+
+                segment = export_shard_segment(view)
+                self._segments.append(segment)
+                payload.append(("shm", segment.descriptor))
+        self._payload = payload
+        return payload
+
+    def dispatch_payload_nbytes(self) -> int:
+        """Pickled size of the initializer payload — the bytes a worker
+        bootstrap actually ships per process under the spawn start method
+        (under fork the descriptors are inherited, costing even less)."""
+        return len(pickle.dumps(self._dispatch_payload()))
+
+    def _verify_dispatch_sources(self, payload: Optional[List[Any]]) -> None:
+        """Coordinator-side pre-flight of store-backed dispatch entries.
+
+        A store directory that vanished between partitioning and pool
+        creation would otherwise fail inside every worker's initializer —
+        detect it here and fail the dispatch once, with a clear error.
+        """
+        for entry in payload or ():
+            if isinstance(entry, tuple) and entry and entry[0] == "store":
+                from ..db.store import MANIFEST_NAME
+
+                directory = entry[1]
+                if not os.path.exists(os.path.join(directory, MANIFEST_NAME)):
+                    raise RuntimeError(
+                        f"store directory vanished before fan-out: {directory!r} "
+                        f"has no {MANIFEST_NAME}"
+                    )
+
     def _ensure_pool(self):
         if self._pool is None:
+            payload = self._dispatch_payload()
+            self._verify_dispatch_sources(payload)
             methods = multiprocessing.get_all_start_methods()
             context = multiprocessing.get_context(
                 "fork" if "fork" in methods else "spawn"
@@ -296,7 +493,7 @@ class ParallelExecutor:
             self._pool = context.Pool(
                 self.workers,
                 initializer=_install_worker_shards,
-                initargs=(self._shard_views,),
+                initargs=(payload,),
             )
         return self._pool
 

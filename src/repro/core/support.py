@@ -21,6 +21,7 @@ the module-level functions expose the raw numerics for reuse and testing.
 from __future__ import annotations
 
 import math
+import os
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -39,6 +40,8 @@ __all__ = [
     "frequent_probability_dynamic_programming",
     "frequent_probabilities_dp_batch",
     "pack_probability_matrix",
+    "DP_BLOCK_BYTES_ENV",
+    "resolve_dp_block_bytes",
     "PMF_RENORMALIZE_TOLERANCE",
     "poisson_tail_probability",
     "normal_tail_probability",
@@ -433,6 +436,26 @@ def poisson_lambda_for_threshold(min_count: int, pft: float) -> float:
     return high
 
 
+#: env override for the serial DP's transient padded-matrix budget (bytes)
+DP_BLOCK_BYTES_ENV = "REPRO_DP_BLOCK_BYTES"
+#: default budget of one padded DP block.  128 MiB holds a full level of
+#: every in-RAM workload in one block (identical behaviour to the
+#: pre-blocking code) while capping the transient on out-of-core databases,
+#: whose vector widths scale with the mapped row count.
+DEFAULT_DP_BLOCK_BYTES = 128 << 20
+
+
+def resolve_dp_block_bytes() -> int:
+    """The serial DP's padded-matrix byte budget (``REPRO_DP_BLOCK_BYTES``)."""
+    raw = os.environ.get(DP_BLOCK_BYTES_ENV, "").strip()
+    if not raw:
+        return DEFAULT_DP_BLOCK_BYTES
+    budget = int(raw)
+    if budget < 1:
+        raise ValueError(f"{DP_BLOCK_BYTES_ENV} must be >= 1, got {budget}")
+    return budget
+
+
 def pack_probability_matrix(vectors: Sequence[Sequence[float]]) -> np.ndarray:
     """Zero-pad per-candidate probability vectors into one matrix.
 
@@ -656,17 +679,36 @@ class SupportEngine:
         if method == "dynamic_programming":
             if distribute:
                 return self._executor.dp_tails(self._vectors, min_count)
-            # The padded matrix is built transiently (unless a caller
-            # already materialised it through the ``matrix`` property): the
-            # DP sweep is its only consumer on this path, and caching it on
-            # the engine would pin the level's peak allocation for the
-            # whole mining run (pinned by ``tests/test_support_memory.py``).
-            matrix = (
-                self._matrix
-                if self._matrix is not None
-                else pack_probability_matrix(self._vectors)
+            if self._matrix is not None:
+                # A caller already materialised the padded matrix through
+                # the ``matrix`` property — reuse it whole.
+                return frequent_probabilities_dp_batch(self._matrix, min_count)
+            # The padded matrix is built transiently: the DP sweep is its
+            # only consumer on this path, and caching it on the engine
+            # would pin the level's peak allocation for the whole mining
+            # run (pinned by ``tests/test_support_memory.py``).  Its size
+            # is 8 * n_candidates * max_len bytes — on out-of-core
+            # databases (``repro.db.store``) max_len scales with the full
+            # row count, so the build is additionally blocked over
+            # candidates to bound the transient at REPRO_DP_BLOCK_BYTES.
+            # Padded columns are Bernoulli(0) identity steps of the
+            # recurrence, so per-block evaluation (block-local padding
+            # widths included) is bitwise identical to one full batch.
+            width = max((len(vector) for vector in self._vectors), default=0)
+            block = max(1, resolve_dp_block_bytes() // (8 * max(width, 1)))
+            if len(self._vectors) <= block:
+                return frequent_probabilities_dp_batch(
+                    pack_probability_matrix(self._vectors), min_count
+                )
+            return np.concatenate(
+                [
+                    frequent_probabilities_dp_batch(
+                        pack_probability_matrix(self._vectors[start : start + block]),
+                        min_count,
+                    )
+                    for start in range(0, len(self._vectors), block)
+                ]
             )
-            return frequent_probabilities_dp_batch(matrix, min_count)
         if method == "divide_conquer":
             if distribute:
                 return self._executor.dc_tails(self._vectors, min_count)

@@ -2,8 +2,8 @@
 
 This package provides the data model every miner consumes: transactions of
 ``(item, probability)`` units, whole databases with their probability-vector
-primitives, text IO, a fluent builder, possible-world sampling and
-validation.
+primitives, text IO, a fluent builder, possible-world sampling, validation
+and an out-of-core memory-mapped columnar store (:mod:`repro.db.store`).
 """
 
 from .builder import DatabaseBuilder, paper_example_database
@@ -24,6 +24,14 @@ from .sampling import (
     sample_worlds,
     world_count,
 )
+from .store import (
+    STORE_ENV,
+    ColumnarStore,
+    MappedColumnarView,
+    StoreDatabase,
+    StoreError,
+    resolve_store_path,
+)
 from .transaction import UncertainTransaction
 from .validation import ValidationIssue, ValidationReport, validate_database
 from .vocabulary import Vocabulary
@@ -33,9 +41,14 @@ __all__ = [
     "BITSET_ENV",
     "ByteBudgetLRU",
     "ColumnarPartition",
+    "ColumnarStore",
     "ColumnarView",
     "DatabaseBuilder",
     "DatabaseStats",
+    "MappedColumnarView",
+    "STORE_ENV",
+    "StoreDatabase",
+    "StoreError",
     "UncertainDatabase",
     "UncertainTransaction",
     "ValidationIssue",
@@ -49,6 +62,7 @@ __all__ = [
     "read_uncertain",
     "resolve_backend",
     "resolve_bitset",
+    "resolve_store_path",
     "sample_world",
     "sample_worlds",
     "shard_bounds",

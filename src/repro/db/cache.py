@@ -25,6 +25,7 @@ below).
 
 from __future__ import annotations
 
+import mmap
 import os
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
@@ -39,6 +40,7 @@ __all__ = [
     "DEFAULT_DENSE_CACHE_BYTES",
     "DEFAULT_PREFIX_CACHE_BYTES",
     "DEFAULT_BITMAP_CACHE_BYTES",
+    "MAPPED_CHARGE_BYTES",
     "resolve_budget",
 ]
 
@@ -75,9 +77,40 @@ def resolve_budget(env_name: str, default: int) -> int:
     return budget
 
 
+#: Nominal charge of a file-backed (memory-mapped) array.  Mapped arrays
+#: pin no process heap — their pages live in the OS page cache and are
+#: reclaimable under memory pressure — so charging them at ``nbytes`` would
+#: make one large mapped column evict an entire cache of genuinely
+#: heap-resident arrays.  They are charged a small constant (roughly the
+#: bookkeeping footprint of the array header plus its manifest entry)
+#: instead.
+MAPPED_CHARGE_BYTES = 512
+
+
+def _is_file_backed(array: np.ndarray) -> bool:
+    """Whether ``array``'s storage is an ``mmap`` (e.g. an ``np.memmap`` plane).
+
+    The base chain is walked to the ultimate owner: slices of a memmap are
+    file-backed, while ufunc *results* on memmaps (which NumPy wraps in the
+    ``np.memmap`` subclass despite owning fresh heap memory) are not.
+    """
+    base = array.base
+    while base is not None:
+        if isinstance(base, mmap.mmap):
+            return True
+        base = getattr(base, "base", None)
+    return False
+
+
 def _payload_nbytes(value: Any) -> int:
-    """Byte size of a cached value: an ndarray or a tuple/list of ndarrays."""
+    """Byte size of a cached value: an ndarray or a tuple/list of ndarrays.
+
+    Heap-resident arrays are charged their full ``nbytes``; memory-mapped
+    arrays are charged :data:`MAPPED_CHARGE_BYTES` (see its docstring).
+    """
     if isinstance(value, np.ndarray):
+        if _is_file_backed(value):
+            return MAPPED_CHARGE_BYTES
         return int(value.nbytes)
     if isinstance(value, (tuple, list)):
         return sum(_payload_nbytes(part) for part in value)

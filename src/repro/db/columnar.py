@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -193,6 +193,16 @@ class ColumnarView:
         The database to project.  The view captures the transaction order at
         construction time; databases are effectively immutable so the view
         can be cached on the instance (see :meth:`UncertainDatabase.columnar`).
+
+    Subclassing contract
+    --------------------
+    Every kernel reads columns exclusively through ``self._columns`` (any
+    ``Mapping[int, ItemColumn]`` whose arrays are sorted by row and
+    read-only) and ``self._n_transactions``; a subclass may therefore swap
+    in a lazy mapping — the out-of-core
+    :class:`~repro.db.store.MappedColumnarView` resolves columns as
+    ``np.memmap`` slices on demand — and inherit the entire evaluation
+    cascade, bit for bit.
     """
 
     def __init__(self, database: "UncertainDatabase") -> None:
@@ -252,14 +262,15 @@ class ColumnarView:
 
     @classmethod
     def from_columns(
-        cls, columns: Dict[int, ItemColumn], n_transactions: int
+        cls, columns: Mapping[int, ItemColumn], n_transactions: int
     ) -> "ColumnarView":
         """Build a view directly from item columns (no database walk).
 
         Args:
             columns: ``{item: (row_indices, probabilities)}`` with row
                 indices sorted ascending within each column.  The arrays
-                are adopted as-is (callers hand over ownership).
+                are adopted as-is (callers hand over ownership) — including
+                zero-copy sources such as shared-memory buffer slices.
             n_transactions: Number of rows the columns index into.
 
         Returns:

@@ -13,6 +13,10 @@ Two interchange formats are supported:
     benchmarks by taking FIMI datasets and *assigning* probabilities to each
     item occurrence; :func:`read_fimi` therefore accepts a probability model
     from :mod:`repro.datasets.probability` to perform the same assignment.
+
+Malformed input raises :class:`ValueError` carrying the source description
+and 1-based line number alongside the offending token, so a bad record in a
+million-line file is locatable without bisection.
 """
 
 from __future__ import annotations
@@ -47,6 +51,13 @@ def _open_for_write(target: PathOrFile):
     return open(target, "w", encoding="utf-8"), True
 
 
+def _describe_source(source: PathOrFile) -> str:
+    """A human-readable source label for parse errors (path or handle name)."""
+    if hasattr(source, "read"):
+        return getattr(source, "name", None) or f"<{type(source).__name__}>"
+    return os.fspath(source)
+
+
 def parse_uncertain_line(line: str) -> Dict[int, float]:
     """Parse one ``item:probability`` line into a unit dictionary."""
     units: Dict[int, float] = {}
@@ -54,7 +65,20 @@ def parse_uncertain_line(line: str) -> Dict[int, float]:
         item_text, _, probability_text = token.partition(":")
         if not probability_text:
             raise ValueError(f"malformed unit {token!r}: expected item:probability")
-        units[int(item_text)] = float(probability_text)
+        try:
+            item = int(item_text)
+        except ValueError:
+            raise ValueError(
+                f"malformed unit {token!r}: item {item_text!r} is not an integer"
+            ) from None
+        try:
+            probability = float(probability_text)
+        except ValueError:
+            raise ValueError(
+                f"malformed unit {token!r}: probability "
+                f"{probability_text!r} is not a number"
+            ) from None
+        units[item] = probability
     return units
 
 
@@ -66,15 +90,25 @@ def format_uncertain_line(units: Dict[int, float], precision: int = 6) -> str:
 
 
 def read_uncertain(source: PathOrFile, name: str = "") -> UncertainDatabase:
-    """Read a database written in the native ``item:probability`` format."""
+    """Read a database written in the native ``item:probability`` format.
+
+    Raises:
+        ValueError: On a malformed line, annotated with the source and the
+            1-based line number of the offending record.
+    """
     handle, should_close = _open_for_read(source)
     try:
         records: List[Dict[int, float]] = []
-        for line in handle:
+        for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
-            records.append(parse_uncertain_line(line))
+            try:
+                records.append(parse_uncertain_line(line))
+            except ValueError as error:
+                raise ValueError(
+                    f"{_describe_source(source)}, line {line_number}: {error}"
+                ) from None
     finally:
         if should_close:
             handle.close()
@@ -93,12 +127,29 @@ def write_uncertain(database: UncertainDatabase, target: PathOrFile, precision: 
             handle.close()
 
 
-def _iterate_fimi(handle: Iterable[str]) -> Iterator[List[int]]:
-    for line in handle:
+def _iterate_fimi(handle: Iterable[str], source: PathOrFile) -> Iterator[List[int]]:
+    for line_number, line in enumerate(handle, start=1):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        yield [int(token) for token in line.split()]
+        try:
+            yield [int(token) for token in line.split()]
+        except ValueError:
+            bad = next(
+                token for token in line.split() if not _is_integer_token(token)
+            )
+            raise ValueError(
+                f"{_describe_source(source)}, line {line_number}: malformed "
+                f"FIMI item {bad!r}: expected an integer"
+            ) from None
+
+
+def _is_integer_token(token: str) -> bool:
+    try:
+        int(token)
+    except ValueError:
+        return False
+    return True
 
 
 def read_fimi(
@@ -122,7 +173,7 @@ def read_fimi(
     handle, should_close = _open_for_read(source)
     try:
         records: List[Dict[int, float]] = []
-        for tid, items in enumerate(_iterate_fimi(handle)):
+        for tid, items in enumerate(_iterate_fimi(handle, source)):
             if probability_model is None:
                 records.append({item: 1.0 for item in items})
             else:

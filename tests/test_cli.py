@@ -63,3 +63,58 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "fig4a" in output
         assert "uapriori" in output
+
+
+class TestStoreCommands:
+    def test_store_build_then_mine_store(self, tmp_path, capsys):
+        source = tmp_path / "paper.txt"
+        write_uncertain(paper_example_database(), source)
+        store_dir = tmp_path / "paper-store"
+
+        code = main(["store-build", "-d", str(source), "-o", str(store_dir)])
+        assert code == 0
+        built = capsys.readouterr().out
+        assert str(store_dir) in built
+        assert (store_dir / "manifest.json").exists()
+
+        reference = main(["mine", "-d", str(source), "--min-esup", "0.5"])
+        reference_out = capsys.readouterr().out
+        assert reference == 0
+
+        code = main(["mine", "--store", str(store_dir), "--min-esup", "0.5"])
+        assert code == 0
+        assert "2 frequent itemsets" in capsys.readouterr().out
+        assert "2 frequent itemsets" in reference_out
+
+    def test_mine_store_from_environment(self, tmp_path, capsys, monkeypatch):
+        source = tmp_path / "paper.txt"
+        write_uncertain(paper_example_database(), source)
+        store_dir = tmp_path / "env-store"
+        assert main(["store-build", "-d", str(source), "-o", str(store_dir)]) == 0
+        capsys.readouterr()
+
+        monkeypatch.setenv("REPRO_STORE", str(store_dir))
+        code = main(["mine", "--store", "--min-esup", "0.5"])
+        assert code == 0
+        assert "2 frequent itemsets" in capsys.readouterr().out
+
+    def test_mine_fanout_flag_parses(self, tmp_path, capsys):
+        source = tmp_path / "paper.txt"
+        write_uncertain(paper_example_database(), source)
+        code = main(
+            [
+                "mine",
+                "-d",
+                str(source),
+                "--min-esup",
+                "0.5",
+                "--workers",
+                "2",
+                "--shards",
+                "2",
+                "--fanout",
+                "shm",
+            ]
+        )
+        assert code == 0
+        assert "2 frequent itemsets" in capsys.readouterr().out

@@ -18,6 +18,7 @@ import repro.core.support
 import repro.db.cache
 import repro.db.columnar
 import repro.db.partition
+import repro.db.store
 import repro.stream.index
 import repro.stream.window
 
@@ -27,6 +28,7 @@ DOCUMENTED_MODULES = [
     repro.db.cache,
     repro.db.columnar,
     repro.db.partition,
+    repro.db.store,
     repro.stream.index,
     repro.stream.window,
 ]

@@ -42,6 +42,76 @@ class TestUncertainFormat:
         assert database[0].units == {1: 0.5, 2: 0.25}
 
 
+class TestUncertainErrors:
+    def test_bad_item_names_token_and_kind(self):
+        with pytest.raises(ValueError, match=r"item 'x' is not an integer"):
+            parse_uncertain_line("x:0.5")
+
+    def test_bad_probability_names_token_and_kind(self):
+        with pytest.raises(ValueError, match=r"probability 'high' is not a number"):
+            parse_uncertain_line("3:high")
+
+    def test_read_reports_path_and_line_number(self, tmp_path):
+        path = tmp_path / "broken.txt"
+        path.write_text("1:0.5\n# comment\n\n2:0.5 bad\n")
+        with pytest.raises(ValueError, match=r"broken\.txt, line 4: malformed"):
+            read_uncertain(path)
+
+    def test_read_reports_handle_name(self):
+        handle = io.StringIO("oops\n")
+        with pytest.raises(ValueError, match=r"<StringIO>, line 1"):
+            read_uncertain(handle)
+
+
+class TestPrecisionBoundaries:
+    def test_default_precision_keeps_six_significant_digits(self):
+        line = format_uncertain_line({1: 0.1234567890123})
+        assert line == "1:0.123457"
+        assert parse_uncertain_line(line)[1] == 0.123457
+
+    def test_tiny_probability_survives_scientific_notation(self):
+        # %g falls back to scientific notation instead of rounding to 0.0.
+        line = format_uncertain_line({1: 1.25e-9})
+        assert parse_uncertain_line(line)[1] == 1.25e-9
+
+    def test_near_one_rounds_to_exactly_one_at_precision_six(self):
+        line = format_uncertain_line({1: 0.99999995})
+        assert parse_uncertain_line(line)[1] == 1.0
+
+    def test_higher_precision_preserves_the_distinction(self):
+        line = format_uncertain_line({1: 0.99999995}, precision=12)
+        assert parse_uncertain_line(line)[1] == 0.99999995
+
+    def test_roundtrip_is_exact_at_precision_17(self, paper_db):
+        buffer = io.StringIO()
+        write_uncertain(paper_db, buffer, precision=17)
+        buffer.seek(0)
+        restored = read_uncertain(buffer)
+        for original, copy in zip(paper_db, restored):
+            assert copy.units == original.units
+
+
+class TestSourceKinds:
+    def test_path_and_handle_read_identically(self, paper_db, tmp_path):
+        path = tmp_path / "paper.txt"
+        write_uncertain(paper_db, path)
+        from_path = read_uncertain(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            from_handle = read_uncertain(handle)
+        for ours, theirs in zip(from_path, from_handle):
+            assert ours.units == theirs.units
+
+    def test_handle_is_not_closed_by_reader(self):
+        handle = io.StringIO("1:0.5\n")
+        read_uncertain(handle)
+        assert not handle.closed
+
+    def test_handle_is_not_closed_by_writer(self, paper_db):
+        buffer = io.StringIO()
+        write_uncertain(paper_db, buffer)
+        assert not buffer.closed
+
+
 class TestFimiFormat:
     def test_read_without_model_gives_certain_items(self):
         database = read_fimi(io.StringIO("1 2 3\n2 3\n"))
@@ -65,3 +135,11 @@ class TestFimiFormat:
         restored = read_fimi(path)
         for original, copy in zip(paper_db, restored):
             assert set(copy.units) == set(original.units)
+
+    def test_malformed_item_reports_path_and_line_number(self, tmp_path):
+        path = tmp_path / "broken.fimi"
+        path.write_text("1 2\n3 four 5\n")
+        with pytest.raises(
+            ValueError, match=r"broken\.fimi, line 2: malformed FIMI item 'four'"
+        ):
+            read_fimi(path)

@@ -95,6 +95,22 @@ class TestEngineTails:
         with pytest.raises(ValueError, match="unknown method"):
             SupportEngine(vectors).frequent_probabilities(2, method="magic")
 
+    @pytest.mark.parametrize("block_bytes", ["240", "480", "960"])
+    def test_blocked_dp_is_bitwise(self, vectors, monkeypatch, block_bytes):
+        # Zero-padded columns are Bernoulli(0) identity steps, so chunking
+        # the candidate list with per-block padded widths must reproduce
+        # the single whole-matrix batch bit for bit.
+        reference = SupportEngine(vectors).frequent_probabilities(3)
+        monkeypatch.setenv("REPRO_DP_BLOCK_BYTES", block_bytes)
+        blocked = SupportEngine(vectors).frequent_probabilities(3)
+        assert np.array_equal(blocked, reference)
+
+    def test_blocked_dp_handles_single_vector_blocks(self, vectors, monkeypatch):
+        reference = SupportEngine(vectors).frequent_probabilities(3)
+        monkeypatch.setenv("REPRO_DP_BLOCK_BYTES", "1")
+        blocked = SupportEngine(vectors).frequent_probabilities(3)
+        assert np.array_equal(blocked, reference)
+
 
 class TestEngineApproximations:
     def test_normal_matches_scalar(self, vectors):
