@@ -1,0 +1,215 @@
+"""Serving-layer benchmark: warm vs cold latency under concurrent load.
+
+Boots a :class:`repro.service.MiningServer` in-process, registers a
+store-built dataset, and drives it with concurrent socket clients the way
+a deployment would:
+
+* **Cold** — every request mines from scratch (``cache: false``): the
+  per-request latency of the library itself plus protocol overhead.
+* **Warm** — the same requests served from the monotonicity-exploiting
+  result cache (exact hits after a priming pass): registry checkout +
+  cache lookup + serialization.
+* **Concurrent** — N client threads hammering a threshold mix (exact
+  hits, monotone filters) through the bounded worker pool; the headline
+  is sustained throughput and tail latency.
+
+Asserted contracts (the acceptance bar of the service PR):
+
+* warm p50 latency is >= 5x better than cold p50,
+* every cached reply (hit or filter) is bitwise identical to a fresh
+  ``cache: false`` mine of the same request.
+
+Sizing knobs (environment): ``REPRO_SERVICE_BENCH_ROWS`` (default 20000),
+``REPRO_SERVICE_BENCH_ITEMS`` (default 24), ``REPRO_SERVICE_BENCH_CLIENTS``
+(default 4), ``REPRO_SERVICE_BENCH_REQUESTS`` (per client, default 25).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--json]
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List
+
+from benchio import bench_main
+
+#: low enough that the level-wise search reaches triples among the hot
+#: items — cold requests must pay for real mining, not just singleton scans
+MIN_ESUP_GRID = [0.05, 0.07, 0.09, 0.12]
+HOT_ITEMS = 10
+
+DEFAULT_ROWS = 20_000
+DEFAULT_ITEMS = 24
+DEFAULT_CLIENTS = 4
+DEFAULT_REQUESTS = 25
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    return int(raw) if raw else default
+
+
+def _build_store(directory: str, n_rows: int, n_items: int, seed: int = 13):
+    import numpy as np
+
+    from repro.db.store import ColumnarStore
+
+    rng = np.random.default_rng(seed)
+    with ColumnarStore.writer(
+        directory, n_rows, name=f"service-bench-{n_rows}x{n_items}"
+    ) as writer:
+        for item in range(n_items):
+            density = 0.6 if item < HOT_ITEMS else 0.25
+            rows = np.flatnonzero(rng.random(n_rows) < density).astype(np.int64)
+            probs = 0.5 + 0.4 * rng.random(rows.size)
+            writer.add_column(item, rows, probs)
+    return ColumnarStore.open(directory)
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _timed_requests(client, requests: List[Dict[str, Any]]) -> List[float]:
+    latencies = []
+    for params in requests:
+        started = time.perf_counter()
+        client.mine(**params)
+        latencies.append(time.perf_counter() - started)
+    return latencies
+
+
+def collect() -> Dict[str, Any]:
+    from repro.service import MiningClient, MiningServer
+
+    n_rows = _env_int("REPRO_SERVICE_BENCH_ROWS", DEFAULT_ROWS)
+    n_items = _env_int("REPRO_SERVICE_BENCH_ITEMS", DEFAULT_ITEMS)
+    n_clients = _env_int("REPRO_SERVICE_BENCH_CLIENTS", DEFAULT_CLIENTS)
+    n_requests = _env_int("REPRO_SERVICE_BENCH_REQUESTS", DEFAULT_REQUESTS)
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-bench-") as directory:
+        store_dir = os.path.join(directory, "store")
+        started = time.perf_counter()
+        _build_store(store_dir, n_rows, n_items)
+        build_seconds = time.perf_counter() - started
+
+        with MiningServer(max_workers=4, max_queue=64) as server:
+            host, port = server.address
+            with MiningClient(host, port, timeout_seconds=300.0) as client:
+                client.register("bench", kind="store", directory=store_dir)
+
+                base = [
+                    {"dataset": "bench", "algorithm": "uapriori", "min_esup": t}
+                    for t in MIN_ESUP_GRID
+                ]
+
+                # Cold: full mines, cache bypassed entirely.
+                cold = _timed_requests(
+                    client, [dict(p, cache=False) for p in base] * 3
+                )
+
+                # Prime at the loosest threshold, then once per point so the
+                # warm pass is all exact hits.
+                fresh_replies = {}
+                for params in base:
+                    fresh_replies[params["min_esup"]] = client.mine(**params)
+
+                warm = _timed_requests(client, base * 6)
+                warm_check = [client.mine(**p) for p in base]
+                for params, reply in zip(base, warm_check):
+                    assert reply["cache"] == "hit", reply["cache"]
+                    fresh = client.mine(**dict(params, cache=False))
+                    assert reply["itemsets"] == fresh["itemsets"], (
+                        f"cached reply at min_esup={params['min_esup']} is not "
+                        "bitwise identical to a fresh mine"
+                    )
+
+                cache_stats = client.stats()["result_cache"]
+
+            # Concurrent load: every client thread mixes exact hits with
+            # stricter thresholds the cache serves as monotone filters.
+            filter_grid = [t + 0.01 for t in MIN_ESUP_GRID]
+            mixed = [
+                {"dataset": "bench", "algorithm": "uapriori", "min_esup": t}
+                for t in MIN_ESUP_GRID + filter_grid
+            ]
+            all_latencies: List[List[float]] = [[] for _ in range(n_clients)]
+            errors: List[str] = []
+
+            def hammer(slot: int) -> None:
+                try:
+                    with MiningClient(host, port, timeout_seconds=300.0) as c:
+                        for i in range(n_requests):
+                            params = mixed[(slot + i) % len(mixed)]
+                            started = time.perf_counter()
+                            c.mine(**params)
+                            all_latencies[slot].append(
+                                time.perf_counter() - started
+                            )
+                except Exception as error:  # noqa: BLE001 - surfaced below
+                    errors.append(repr(error))
+
+            started = time.perf_counter()
+            threads = [
+                threading.Thread(target=hammer, args=(slot,))
+                for slot in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            concurrent_seconds = time.perf_counter() - started
+            assert not errors, f"concurrent clients failed: {errors}"
+
+            concurrent = [x for slot in all_latencies for x in slot]
+            server_stats_served = server.requests_served
+
+    cold_p50 = _percentile(cold, 0.5)
+    warm_p50 = _percentile(warm, 0.5)
+    speedup = cold_p50 / warm_p50
+    assert speedup >= 5.0, (
+        f"warm p50 ({warm_p50 * 1e3:.3f}ms) is only {speedup:.1f}x better than "
+        f"cold p50 ({cold_p50 * 1e3:.3f}ms); the serving contract is >= 5x"
+    )
+
+    return {
+        "config": {
+            "n_transactions": n_rows,
+            "n_items": n_items,
+            "n_clients": n_clients,
+            "requests_per_client": n_requests,
+            "min_esup_grid": MIN_ESUP_GRID,
+            "n_frequent_loosest": fresh_replies[MIN_ESUP_GRID[0]]["n"],
+            "result_cache": cache_stats,
+            "requests_served": server_stats_served,
+        },
+        "timings": {
+            "store_build_seconds": build_seconds,
+            "cold_p50_seconds": cold_p50,
+            "cold_p99_seconds": _percentile(cold, 0.99),
+            "warm_p50_seconds": warm_p50,
+            "warm_p99_seconds": _percentile(warm, 0.99),
+            "concurrent_p50_seconds": _percentile(concurrent, 0.5),
+            "concurrent_p99_seconds": _percentile(concurrent, 0.99),
+            "concurrent_wall_seconds": concurrent_seconds,
+        },
+        "speedups": {
+            "warm_vs_cold_p50_speedup": speedup,
+        },
+        "metrics": {
+            "concurrent_throughput_rps": len(concurrent) / concurrent_seconds,
+        },
+    }
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(bench_main("service", collect))

@@ -38,6 +38,7 @@ BENCHES = {
     "bench_parallel_scaling": "parallel_scaling",
     "bench_stream_window": "stream_window",
     "bench_store_fanout": "store_fanout",
+    "bench_service": "service",
     "bench_topk": "topk",
     "bench_table4_probability_methods": "table4_probability_methods",
     "bench_ablation_convolution": "ablation_convolution",
@@ -64,6 +65,7 @@ QUICK = [
     "bench_bitset_cascade",
     "bench_backend_columnar",
     "bench_store_fanout",
+    "bench_service",
     "bench_table4_probability_methods",
     "bench_ablation_convolution",
     "bench_definition_unification",

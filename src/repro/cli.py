@@ -28,6 +28,11 @@ Five subcommands cover the common workflows:
     Persist a dataset as an out-of-core memory-mapped columnar store
     (:mod:`repro.db.store`); ``repro-mine mine --store DIR`` then mines it
     off the mapped planes without loading the data into RAM.
+
+``repro-mine serve``
+    Run the mining service (:mod:`repro.service`): a long-lived JSON-over-
+    socket server with a warm dataset registry, a monotonicity-exploiting
+    result cache and bounded concurrent admission.
 """
 
 from __future__ import annotations
@@ -211,6 +216,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-bitmaps",
         action="store_true",
         help="skip the packed occupancy-bitmap plane (smaller store, slower cascade)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the JSON-over-socket mining service"
+    )
+    serve_parser.add_argument(
+        "--host", default=None, help="bind address (default: REPRO_SERVICE_HOST or 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port (default: REPRO_SERVICE_PORT or 0 = ephemeral)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="concurrent request executors (default: REPRO_SERVICE_WORKERS or 4)",
+    )
+    serve_parser.add_argument(
+        "--queue",
+        type=int,
+        default=None,
+        help=(
+            "requests allowed to wait for an executor before rejection "
+            "(default: REPRO_SERVICE_QUEUE or 16)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request timeout in seconds (default: REPRO_SERVICE_TIMEOUT_SECONDS or 30)",
+    )
+    serve_parser.add_argument(
+        "--register",
+        action="append",
+        default=[],
+        metavar="NAME=DATASET[:SCALE]",
+        help="pre-register a benchmark dataset at startup (repeatable)",
+    )
+    serve_parser.add_argument(
+        "--register-store",
+        action="append",
+        default=[],
+        metavar="NAME=DIR",
+        help="pre-register an out-of-core columnar store at startup (repeatable)",
+    )
+    serve_parser.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound 'host port' to PATH once serving (for scripts/CI)",
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
     )
     return parser
 
@@ -537,6 +599,64 @@ def _command_store_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .service import MiningServer
+
+    server = MiningServer(
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        max_queue=args.queue,
+        timeout_seconds=args.timeout,
+        use_cache=not args.no_cache,
+    )
+    for entry in args.register:
+        name, _, target = entry.partition("=")
+        if not name or not target:
+            print(f"serve: bad --register {entry!r}, expected NAME=DATASET[:SCALE]")
+            return 2
+        dataset, _, scale = target.partition(":")
+        spec = {"kind": "benchmark", "dataset": dataset}
+        if scale:
+            spec["scale"] = float(scale)
+        server.registry.register(name, spec)
+        print(f"serve: registered {name!r} <- benchmark {dataset!r}")
+    for entry in args.register_store:
+        name, _, directory = entry.partition("=")
+        if not name or not directory:
+            print(f"serve: bad --register-store {entry!r}, expected NAME=DIR")
+            return 2
+        server.registry.register(name, {"kind": "store", "directory": directory})
+        print(f"serve: registered {name!r} <- store {directory}")
+
+    server.start()
+    host, port = server.address
+    print(f"serve: listening on {host}:{port} (workers={server.max_workers}, "
+          f"queue={server.max_queue}, timeout={server.timeout_seconds:g}s)")
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{host} {port}\n")
+
+    def _stop(signum, frame):  # pragma: no cover - signal path
+        server.close()
+
+    previous = [
+        (signal.SIGINT, signal.signal(signal.SIGINT, _stop)),
+        (signal.SIGTERM, signal.signal(signal.SIGTERM, _stop)),
+    ]
+    try:
+        # Blocks until a signal or a client 'shutdown' op closes the server.
+        server.wait()
+    finally:
+        server.close()
+        for signum, handler in previous:
+            signal.signal(signum, handler)
+    print("serve: stopped")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``repro-mine`` console script."""
     args = build_parser().parse_args(argv)
@@ -544,6 +664,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_list()
     if args.command == "store-build":
         return _command_store_build(args)
+    if args.command == "serve":
+        return _command_serve(args)
     with bitset_scope(getattr(args, "bitset", None)), fanout_scope(
         getattr(args, "fanout", None)
     ):

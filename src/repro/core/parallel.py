@@ -49,6 +49,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -66,12 +67,42 @@ __all__ = [
     "WORKERS_ENV",
     "SHARDS_ENV",
     "FANOUT_ENV",
+    "live_pool_count",
     "resolve_workers",
     "resolve_shards",
     "resolve_fanout",
     "fanout_scope",
     "even_chunks",
 ]
+
+#: process-wide count of worker pools currently alive (see live_pool_count)
+_LIVE_POOLS = 0
+_LIVE_POOLS_LOCK = threading.Lock()
+
+
+def live_pool_count() -> int:
+    """How many :class:`ParallelExecutor` worker pools are alive right now.
+
+    Every pool creation increments the counter and every ``close()`` /
+    ``terminate()`` that actually tears a pool down decrements it, so a
+    long-lived process (the mining service) can assert that no request
+    leaked a pool: the count must return to its pre-request value once all
+    in-flight work has drained.
+    """
+    with _LIVE_POOLS_LOCK:
+        return _LIVE_POOLS
+
+
+def _pool_opened() -> None:
+    global _LIVE_POOLS
+    with _LIVE_POOLS_LOCK:
+        _LIVE_POOLS += 1
+
+
+def _pool_closed() -> None:
+    global _LIVE_POOLS
+    with _LIVE_POOLS_LOCK:
+        _LIVE_POOLS -= 1
 
 #: environment variable supplying the default worker count
 WORKERS_ENV = "REPRO_WORKERS"
@@ -369,6 +400,7 @@ class ParallelExecutor:
             self._pool.close()
             self._pool.join()
             self._pool = None
+            _pool_closed()
         self._release_segments()
 
     def terminate(self) -> None:
@@ -383,6 +415,7 @@ class ParallelExecutor:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+            _pool_closed()
         self._release_segments()
 
     def _release_segments(self) -> None:
@@ -495,6 +528,7 @@ class ParallelExecutor:
                 initializer=_install_worker_shards,
                 initargs=(payload,),
             )
+            _pool_opened()
         return self._pool
 
     def _map(self, task, payloads: List[Any]) -> List[Any]:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import mmap
 import os
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
@@ -107,7 +108,13 @@ def _payload_nbytes(value: Any) -> int:
 
     Heap-resident arrays are charged their full ``nbytes``; memory-mapped
     arrays are charged :data:`MAPPED_CHARGE_BYTES` (see its docstring).
+    Non-array values may opt in by exposing a ``payload_nbytes`` attribute
+    (the service layer's warm-dataset and cached-result wrappers do), which
+    is taken at face value.
     """
+    declared = getattr(value, "payload_nbytes", None)
+    if declared is not None and not isinstance(value, np.ndarray):
+        return int(declared)
     if isinstance(value, np.ndarray):
         if _is_file_backed(value):
             return MAPPED_CHARGE_BYTES
@@ -120,6 +127,13 @@ def _payload_nbytes(value: Any) -> int:
 class ByteBudgetLRU:
     """An LRU mapping bounded by the total NumPy payload it retains.
 
+    All operations are thread-safe: a single re-entrant lock guards the
+    recency order and the byte accounting.  Without it, two service threads
+    interleaving ``put`` could leave ``nbytes`` permanently out of sync with
+    the retained entries (the ``pop``/``insert``/evict sequence is not
+    atomic), and a ``get`` racing an eviction could ``move_to_end`` a key
+    that no longer exists.
+
     Parameters
     ----------
     budget_bytes:
@@ -128,7 +142,7 @@ class ByteBudgetLRU:
         every ``put`` is dropped), which keeps call sites branch-free.
     """
 
-    __slots__ = ("budget_bytes", "nbytes", "hits", "misses", "_entries")
+    __slots__ = ("budget_bytes", "nbytes", "hits", "misses", "_entries", "_lock")
 
     def __init__(self, budget_bytes: int) -> None:
         self.budget_bytes = int(budget_bytes)
@@ -137,22 +151,41 @@ class ByteBudgetLRU:
         self.hits = 0
         self.misses = 0
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list:
+        """The retained keys, least- to most-recently used (a snapshot)."""
+        with self._lock:
+            return list(self._entries)
+
+    def peek(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value without touching recency or hit counters.
+
+        For index scans (the service result cache walks whole key groups to
+        find a filter source): a scan that ``get``-refreshed every candidate
+        would promote entries the caller never served.
+        """
+        with self._lock:
+            return self._entries.get(key)
 
     def get(self, key: Hashable) -> Optional[Any]:
         """Return the cached value (refreshing its recency) or ``None``."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert ``value``, evicting least-recently-used entries over budget.
@@ -163,15 +196,25 @@ class ByteBudgetLRU:
         size = _payload_nbytes(value)
         if size > self.budget_bytes:
             return
-        previous = self._entries.pop(key, None)
-        if previous is not None:
-            self.nbytes -= _payload_nbytes(previous)
-        self._entries[key] = value
-        self.nbytes += size
-        while self.nbytes > self.budget_bytes and self._entries:
-            _, evicted = self._entries.popitem(last=False)
-            self.nbytes -= _payload_nbytes(evicted)
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.nbytes -= _payload_nbytes(previous)
+            self._entries[key] = value
+            self.nbytes += size
+            while self.nbytes > self.budget_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self.nbytes -= _payload_nbytes(evicted)
+
+    def pop(self, key: Hashable) -> Optional[Any]:
+        """Remove and return the value cached under ``key`` (``None`` if absent)."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self.nbytes -= _payload_nbytes(entry)
+            return entry
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.nbytes = 0
+        with self._lock:
+            self._entries.clear()
+            self.nbytes = 0

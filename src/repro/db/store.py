@@ -401,6 +401,20 @@ class ColumnarStore:
         """On-disk size of the manifest — the fan-out descriptor scale."""
         return os.path.getsize(os.path.join(self.directory, MANIFEST_NAME))
 
+    def stamp(self) -> Tuple[str, int, int]:
+        """Identity of the on-disk state: ``(realpath, mtime_ns, size)``.
+
+        The same key the per-process open-store cache uses.  Two stamps
+        compare equal exactly when they refer to the same finalized store
+        contents (finalization writes the manifest atomically, so any
+        rebuild changes its mtime/size).  The service layer records the
+        stamp at dataset-registration time as the revision boundary of its
+        result cache: a store rebuilt in place yields a new stamp, and
+        results cached under the old one are never served again.
+        """
+        stat = os.stat(os.path.join(self.directory, MANIFEST_NAME))
+        return (os.path.realpath(self.directory), stat.st_mtime_ns, stat.st_size)
+
     @property
     def data_nbytes(self) -> int:
         """Total on-disk size of the mapped planes."""

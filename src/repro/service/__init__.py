@@ -1,0 +1,30 @@
+"""Mining-as-a-service: registry, result cache, server, client.
+
+The service layer turns the library into a long-lived process: datasets
+are registered once and kept warm (:mod:`~repro.service.registry`),
+answers are cached and re-served by threshold monotonicity
+(:mod:`~repro.service.cache`), and a threaded JSON-over-socket server
+(:mod:`~repro.service.server`) fields concurrent clients with bounded
+admission and per-request timeouts.  ``repro-mine serve`` starts one from
+the command line; :class:`MiningClient` talks to it from Python.
+"""
+
+from .cache import ResultCache, plan_mine, plan_topk
+from .client import MiningClient
+from .protocol import ServiceError, decode_records, encode_records, record_keys
+from .registry import DatasetHandle, DatasetRegistry
+from .server import MiningServer
+
+__all__ = [
+    "DatasetHandle",
+    "DatasetRegistry",
+    "MiningClient",
+    "MiningServer",
+    "ResultCache",
+    "ServiceError",
+    "decode_records",
+    "encode_records",
+    "plan_mine",
+    "plan_topk",
+    "record_keys",
+]

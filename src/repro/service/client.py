@@ -1,0 +1,154 @@
+"""A blocking Python client for the mining service.
+
+One client wraps one TCP connection and issues requests sequentially
+(request ``id``s are still attached and checked, so a desynchronised
+stream fails loudly instead of silently mismatching).  Thin by design:
+every method is one :meth:`MiningClient.call` with the op's params, and
+error replies surface as :class:`~repro.service.protocol.ServiceError`
+with the server's error type intact.
+
+>>> from repro.service import MiningServer, MiningClient  # doctest: +SKIP
+>>> with MiningServer(max_workers=2) as server:           # doctest: +SKIP
+...     with MiningClient(*server.address) as client:
+...         client.register("toy", dataset="t10i4d100k", scale=0.001)
+...         reply = client.mine("toy", algorithm="uapriori", min_esup=0.3)
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any, Dict, List, Optional
+
+from ..core.results import FrequentItemset
+from .protocol import (
+    MAX_LINE_BYTES,
+    ServiceError,
+    decode_line,
+    decode_records,
+    encode_line,
+)
+
+__all__ = ["MiningClient"]
+
+
+class MiningClient:
+    """Socket client speaking the newline-delimited JSON protocol.
+
+    Args:
+        host: Server address.
+        port: Server port (take both from ``MiningServer.address``).
+        timeout_seconds: Socket timeout applied to connect and to every
+            reply read.  Keep it above the server's per-request timeout so
+            the server-side ``timeout`` error (a structured reply) arrives
+            before the client-side socket gives up.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout_seconds: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout_seconds = float(timeout_seconds)
+        self._sock: Optional[socket.socket] = None
+        self._buffer = b""
+        self._ids = itertools.count(1)
+
+    # -- connection --------------------------------------------------------------
+    def connect(self) -> "MiningClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_seconds
+            )
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._buffer = b""
+
+    def __enter__(self) -> "MiningClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # -- core request/reply ------------------------------------------------------
+    def call(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        timeout_seconds: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Issue one request and return the ``result`` object of the reply.
+
+        Raises:
+            ServiceError: The server replied with a structured error (its
+                ``type`` is preserved).
+            ConnectionError: The connection dropped before a reply arrived.
+        """
+        self.connect()
+        request_id = next(self._ids)
+        document = {"id": request_id, "op": op, "params": params or {}}
+        self._sock.sendall(encode_line(document))
+        if timeout_seconds is not None:
+            self._sock.settimeout(timeout_seconds)
+        try:
+            reply = decode_line(self._read_line())
+        finally:
+            if timeout_seconds is not None:
+                self._sock.settimeout(self.timeout_seconds)
+        if reply.get("id") != request_id:
+            raise ConnectionError(
+                f"reply id {reply.get('id')!r} does not match request {request_id}"
+            )
+        if reply.get("ok"):
+            return reply.get("result", {})
+        error = reply.get("error") or {}
+        raise ServiceError(
+            error.get("type", "internal"), error.get("message", "unknown error")
+        )
+
+    def _read_line(self) -> bytes:
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_LINE_BYTES:
+                raise ConnectionError("reply line exceeds protocol maximum")
+            chunk = self._sock.recv(1 << 16)
+            if not chunk:
+                raise ConnectionError("server closed the connection mid-reply")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return line
+
+    # -- convenience ops ---------------------------------------------------------
+    def ping(self, delay_seconds: float = 0.0, **params) -> Dict[str, Any]:
+        return self.call("ping", {"delay_seconds": delay_seconds, **params})
+
+    def register(self, name: str, **spec) -> Dict[str, Any]:
+        """Register a dataset; see :meth:`DatasetRegistry.register` for specs."""
+        return self.call("register", {"name": name, **spec})
+
+    def unregister(self, name: str) -> bool:
+        return bool(self.call("unregister", {"dataset": name}).get("removed"))
+
+    def list(self) -> Dict[str, Any]:
+        return self.call("list")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call("stats")
+
+    def mine(self, dataset: str, **params) -> Dict[str, Any]:
+        return self.call("mine", {"dataset": dataset, **params})
+
+    def mine_topk(self, dataset: str, k: int, **params) -> Dict[str, Any]:
+        return self.call("mine-topk", {"dataset": dataset, "k": int(k), **params})
+
+    def mine_records(self, dataset: str, **params) -> List[FrequentItemset]:
+        """``mine`` decoded straight to :class:`FrequentItemset` records."""
+        return decode_records(self.mine(dataset, **params)["itemsets"])
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.call("shutdown")

@@ -1,0 +1,169 @@
+"""Wire protocol of the mining service: newline-delimited JSON.
+
+One request is one JSON object on one line; one response is one JSON
+object on one line.  The framing is deliberately primitive — any language
+with a socket and a JSON parser is a client — and the schema is small:
+
+Request::
+
+    {"id": 7, "op": "mine", "params": {"dataset": "accident", ...}}
+
+Success response::
+
+    {"id": 7, "ok": true, "result": {...}}
+
+Error response (the server **always** replies; a client never hangs on a
+bad request)::
+
+    {"id": 7, "ok": false, "error": {"type": "unknown-dataset",
+                                     "message": "..."}}
+
+Floats round-trip bitwise: Python's ``json`` emits ``repr``-shortest
+decimal forms, which parse back to the identical IEEE-754 double — the
+property the result cache's "bitwise-equal to a fresh mine" contract
+rides on (pinned by ``tests/test_service.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.itemset import Itemset
+from ..core.results import FrequentItemset
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "ERROR_TYPES",
+    "ServiceError",
+    "encode_line",
+    "decode_line",
+    "error_reply",
+    "ok_reply",
+    "encode_records",
+    "decode_records",
+    "encode_statistics",
+    "record_keys",
+]
+
+#: hard cap on one framed line (requests beyond it are malformed — the
+#: inline-records register op stays well under this for test datasets)
+MAX_LINE_BYTES = 32 << 20
+
+#: the structured error vocabulary of the service
+ERROR_TYPES = (
+    "malformed-request",
+    "unknown-op",
+    "unknown-dataset",
+    "unknown-algorithm",
+    "bad-params",
+    "overloaded",
+    "timeout",
+    "shutting-down",
+    "internal",
+)
+
+
+class ServiceError(Exception):
+    """A structured service failure: a machine-readable type plus a message.
+
+    Raised server-side to produce an error reply, and raised client-side
+    when an error reply is received — the ``type`` survives the round-trip.
+    """
+
+    def __init__(self, error_type: str, message: str) -> None:
+        if error_type not in ERROR_TYPES:
+            raise ValueError(f"unknown error type {error_type!r}; known: {ERROR_TYPES}")
+        super().__init__(message)
+        self.type = error_type
+        self.message = message
+
+    def as_payload(self) -> Dict[str, str]:
+        return {"type": self.type, "message": self.message}
+
+
+def encode_line(document: Dict[str, Any]) -> bytes:
+    """Frame one protocol document as a single JSON line (UTF-8)."""
+    return (json.dumps(document, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one framed line into a request/response document.
+
+    Raises:
+        ServiceError: ``malformed-request`` when the line is not a JSON
+            object (the caller turns this into a structured error reply).
+    """
+    try:
+        document = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServiceError("malformed-request", f"not a JSON line: {error}") from None
+    if not isinstance(document, dict):
+        raise ServiceError(
+            "malformed-request",
+            f"expected a JSON object, got {type(document).__name__}",
+        )
+    return document
+
+
+def ok_reply(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_reply(request_id: Any, error: ServiceError) -> Dict[str, Any]:
+    return {"id": request_id, "ok": False, "error": error.as_payload()}
+
+
+def encode_records(records) -> List[Dict[str, Any]]:
+    """Serialize mining records, preserving order and float identity.
+
+    Works on any iterable of :class:`~repro.core.results.FrequentItemset`
+    — a canonical :class:`MiningResult` (size/lexicographic order) or a
+    :class:`TopKResult` (rank order).
+    """
+    return [
+        {
+            "items": list(record.itemset.items),
+            "esup": record.expected_support,
+            "var": record.variance,
+            "pr": record.frequent_probability,
+        }
+        for record in records
+    ]
+
+
+def decode_records(payload: List[Dict[str, Any]]) -> List[FrequentItemset]:
+    """Rebuild :class:`FrequentItemset` records from their wire form."""
+    return [
+        FrequentItemset(
+            Itemset(tuple(int(item) for item in entry["items"])),
+            float(entry["esup"]),
+            None if entry.get("var") is None else float(entry["var"]),
+            None if entry.get("pr") is None else float(entry["pr"]),
+        )
+        for entry in payload
+    ]
+
+
+def encode_statistics(statistics) -> Dict[str, Any]:
+    """The statistics slice a serving client cares about."""
+    return {
+        "algorithm": statistics.algorithm,
+        "elapsed_seconds": statistics.elapsed_seconds,
+        "candidates_generated": statistics.candidates_generated,
+        "candidates_pruned": statistics.candidates_pruned,
+        "exact_evaluations": statistics.exact_evaluations,
+    }
+
+
+def record_keys(records: List[FrequentItemset]) -> List[Tuple[Tuple[int, ...], float, Optional[float], Optional[float]]]:
+    """The bitwise-comparison view of a record list (tests and --verify)."""
+    return [
+        (
+            record.itemset.items,
+            record.expected_support,
+            record.variance,
+            record.frequent_probability,
+        )
+        for record in records
+    ]
