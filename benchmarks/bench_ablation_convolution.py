@@ -53,22 +53,60 @@ def test_ablation_report(benchmark):
     assert rows["fft"] <= rows["direct"] * 1.5
 
 
+#: direct-vs-FFT cutover spans swept by --json (the ``conv_span`` plan knob)
+SPANS = (64, 128, 256, 512, 1024)
+
+
 def json_payload():
-    """Machine-readable FFT-vs-direct timings for the trajectory (--json)."""
+    """Machine-readable FFT-vs-direct span sweep for the trajectory (--json).
+
+    Sweeps the ``conv_span`` cutover (operands longer than the span go
+    through the FFT) and reports the per-span timings plus the measured
+    best span, supporting the planner's default.  The headline
+    ``fft_speedup`` is measured *at the resolved default span*, so a
+    default the measurements do not support (speedup < 1, the old span-64
+    regression) shows up directly in the trajectory.
+    """
     import time
 
-    timings = {}
-    for use_fft in (True, False):
-        started = time.perf_counter()
-        exact_pmf_divide_conquer(VECTOR, use_fft=use_fft)
-        label = "fft_seconds" if use_fft else "direct_seconds"
-        timings[label] = time.perf_counter() - started
+    from repro.core.support import resolve_conv_span
+
+    def best_of(run, repeats=3):
+        best = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            run()
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    timings = {
+        "direct_seconds": best_of(
+            lambda: exact_pmf_divide_conquer(VECTOR, use_fft=False)
+        )
+    }
+    speedups = {}
+    for span in SPANS:
+        seconds = best_of(
+            lambda: exact_pmf_divide_conquer(VECTOR, use_fft=True, span=span)
+        )
+        timings[f"fft_span{span}_seconds"] = seconds
+        speedups[f"fft_span{span}_speedup"] = timings["direct_seconds"] / seconds
+    default_span = resolve_conv_span()
+    timings["fft_seconds"] = best_of(
+        lambda: exact_pmf_divide_conquer(VECTOR, use_fft=True, span=default_span)
+    )
+    speedups["fft_speedup"] = timings["direct_seconds"] / timings["fft_seconds"]
+    best_span = min(SPANS, key=lambda span: timings[f"fft_span{span}_seconds"])
     return {
-        "config": {"n_transactions": len(VECTOR)},
-        "timings": timings,
-        "speedups": {
-            "fft_speedup": timings["direct_seconds"] / timings["fft_seconds"]
+        "config": {
+            "n_transactions": len(VECTOR),
+            "spans": list(SPANS),
+            "default_span": default_span,
+            "best_span": best_span,
         },
+        "timings": timings,
+        "speedups": speedups,
     }
 
 

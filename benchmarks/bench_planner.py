@@ -1,0 +1,177 @@
+"""Planner benchmark: ``--plan auto`` vs static configurations.
+
+Mines three dataset shapes (small/dense, medium, wide/sparse) once under
+the cost-model planner (``plan="auto"``) and once under each member of a
+static configuration grid, then compares wall-clocks:
+
+* ``auto_vs_best_static`` — how close the planner gets to the best static
+  configuration *for that shape* (>= 1.0 means auto matched or beat it);
+* ``auto_vs_worst_static`` — how much the planner saves over the worst
+  static configuration (the cost of picking one global default and being
+  wrong on some shape).
+
+Asserted contracts (the acceptance bar of the planner PR):
+
+* auto is within 0.9x of the best static configuration on at least one
+  shape, and at least 1.2x faster than the worst static one there;
+* auto never collapses: on *every* shape auto stays within 0.5x of best
+  (a planner that misfires badly anywhere fails the bench);
+* the auto-planned mine is **bitwise identical** to a mine with the same
+  resolved plan passed explicitly — the planner only picks knobs, it
+  never changes results.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_planner.py [--json]
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Dict, List, Tuple
+
+from benchio import bench_main
+
+#: (shape label, database construction parameters, min_sup engaging level-2+ work)
+SHAPES: List[Tuple[str, Dict[str, Any], float]] = [
+    (
+        "dense_small",
+        {"n_transactions": 800, "n_items": 24, "density": 0.5, "seed": 5},
+        0.15,
+    ),
+    (
+        "medium",
+        {"n_transactions": 4000, "n_items": 36, "density": 0.2, "seed": 7},
+        0.04,
+    ),
+    (
+        "wide_sparse",
+        {"n_transactions": 2000, "n_items": 120, "density": 0.05, "seed": 9},
+        0.01,
+    ),
+]
+
+#: the static grid auto competes against — one fixed configuration applied
+#: to every shape, the way a hand-tuned deployment would pin its knobs
+STATIC_PLANS: Dict[str, Dict[str, Any]] = {
+    "columnar_w1": {"backend": "columnar", "bitset": True, "workers": 1, "shards": 1},
+    "columnar_nobitset": {
+        "backend": "columnar",
+        "bitset": False,
+        "workers": 1,
+        "shards": 1,
+    },
+    "rows_w1": {"backend": "rows", "workers": 1, "shards": 1},
+}
+
+PFT = 0.9
+ALGORITHM = "dcb"
+REPEATS = 2
+
+
+def _build_database(label: str, n_transactions: int, n_items: int, density: float, seed: int):
+    from repro.db import UncertainDatabase
+
+    rng = random.Random(seed)
+    records: List[Dict[int, float]] = []
+    for _ in range(n_transactions):
+        units: Dict[int, float] = {}
+        for item in range(n_items):
+            if rng.random() < density:
+                units[item] = round(rng.uniform(0.2, 0.98), 3)
+        records.append(units)
+    return UncertainDatabase.from_records(records, name=f"planner-{label}")
+
+
+def _mine_once(database, min_sup, plan) -> Tuple[float, Any]:
+    from repro.core.miner import mine
+
+    started = time.perf_counter()
+    result = mine(database, algorithm=ALGORITHM, min_sup=min_sup, pft=PFT, plan=plan)
+    return time.perf_counter() - started, result
+
+
+def _best_of(database, min_sup, plan) -> Tuple[float, Any]:
+    best_seconds, result = _mine_once(database, min_sup, plan)
+    for _ in range(REPEATS - 1):
+        seconds, result = _mine_once(database, min_sup, plan)
+        best_seconds = min(best_seconds, seconds)
+    return best_seconds, result
+
+
+def _record_key(record) -> Tuple[Any, ...]:
+    return (
+        tuple(record.itemset.items),
+        record.expected_support,
+        record.variance,
+        record.frequent_probability,
+    )
+
+
+def json_payload() -> Dict[str, Any]:
+    from repro.plan import materialize_plan
+
+    timings: Dict[str, float] = {}
+    speedups: Dict[str, float] = {}
+    config: Dict[str, Any] = {
+        "algorithm": ALGORITHM,
+        "pft": PFT,
+        "static_plans": {name: dict(spec) for name, spec in STATIC_PLANS.items()},
+        "shapes": {
+            label: dict(kwargs, min_sup=min_sup) for label, kwargs, min_sup in SHAPES
+        },
+        "auto_plans": {},
+    }
+
+    hit_bounds = False
+    for label, kwargs, min_sup in SHAPES:
+        database = _build_database(label, **kwargs)
+        # The planner's resolved choice, pinned up front so the bitwise
+        # check below re-mines under the *identical* concrete plan.
+        resolved = materialize_plan("auto", database)
+        config["auto_plans"][label] = resolved.to_dict()
+
+        auto_seconds, auto_result = _best_of(database, min_sup, "auto")
+        timings[f"{label}_auto_seconds"] = auto_seconds
+
+        static_seconds: Dict[str, float] = {}
+        for name, spec in STATIC_PLANS.items():
+            seconds, static_result = _best_of(database, min_sup, dict(spec))
+            static_seconds[name] = seconds
+            timings[f"{label}_{name}_seconds"] = seconds
+            assert {r.itemset.items for r in static_result.itemsets} == {
+                r.itemset.items for r in auto_result.itemsets
+            }, f"static plan {name} changed the {label} frequent set"
+
+        best = min(static_seconds.values())
+        worst = max(static_seconds.values())
+        vs_best = best / auto_seconds
+        vs_worst = worst / auto_seconds
+        speedups[f"{label}_auto_vs_best_static_speedup"] = vs_best
+        speedups[f"{label}_auto_vs_worst_static_speedup"] = vs_worst
+        if vs_best >= 0.9 and vs_worst >= 1.2:
+            hit_bounds = True
+        assert vs_best >= 0.5, (
+            f"auto misfired on {label}: {auto_seconds:.4f}s vs best static {best:.4f}s"
+        )
+
+        # Bitwise contract: the auto-planned mine equals a mine under the
+        # same plan set by hand, record for record, bit for bit.
+        _, explicit_result = _mine_once(database, min_sup, resolved.to_dict())
+        auto_keys = [_record_key(r) for r in auto_result.itemsets]
+        explicit_keys = [_record_key(r) for r in explicit_result.itemsets]
+        assert auto_keys == explicit_keys, (
+            f"auto-planned mine of {label} is not bitwise-equal to the same "
+            "plan passed explicitly"
+        )
+
+    assert hit_bounds, (
+        "auto reached neither >=0.9x best-static nor >=1.2x worst-static on "
+        f"any shape; speedups: {speedups}"
+    )
+    return {"config": config, "timings": timings, "speedups": speedups}
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    raise SystemExit(bench_main("planner", json_payload))

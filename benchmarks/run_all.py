@@ -40,6 +40,7 @@ BENCHES = {
     "bench_store_fanout": "store_fanout",
     "bench_service": "service",
     "bench_topk": "topk",
+    "bench_planner": "planner",
     "bench_table4_probability_methods": "table4_probability_methods",
     "bench_ablation_convolution": "ablation_convolution",
     "bench_definition_unification": "definition_unification",
@@ -69,6 +70,7 @@ QUICK = [
     "bench_table4_probability_methods",
     "bench_ablation_convolution",
     "bench_definition_unification",
+    "bench_planner",
 ]
 
 

@@ -14,12 +14,14 @@ probability).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from contextlib import contextmanager
+from typing import Any, Mapping, Optional, Union
 
 from ..core.parallel import ParallelExecutor, resolve_shards, resolve_workers
 from ..core.results import MiningResult, MiningStatistics
 from ..core.thresholds import ExpectedSupportThreshold, ProbabilisticThreshold
 from ..db.database import UncertainDatabase, resolve_backend
+from ..plan import ExecutionPlan, ensure_plan, materialize_plan, plan_scope
 
 __all__ = ["MinerBase", "ExpectedSupportMiner", "ProbabilisticMiner"]
 
@@ -50,6 +52,15 @@ class MinerBase(ABC):
         ``REPRO_SHARDS`` and falls back to the worker count, so raising
         ``workers`` automatically engages the partitioned path.  Only
         meaningful on the columnar backend (the row oracle stays serial).
+    plan:
+        An :class:`~repro.plan.ExecutionPlan` (or a plan-spec string /
+        mapping — see :func:`repro.plan.ensure_plan`) carrying any subset
+        of the tuning knobs.  Explicit ``backend``/``workers``/``shards``
+        arguments still win; the plan fills the rest at the scope tier.
+        ``plan="auto"`` defers to the cost-model planner: the plan is
+        materialized from the database's statistics when ``mine`` runs,
+        and the materialized configuration is pinned for the whole run
+        (exposed afterwards as :attr:`plan`).
     """
 
     #: Registry name; subclasses override.
@@ -61,17 +72,55 @@ class MinerBase(ABC):
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        plan: Union[None, str, Mapping[str, Any], ExecutionPlan] = None,
     ) -> None:
         self.track_memory = track_memory
-        self.backend = resolve_backend(backend)
-        self.workers = resolve_workers(workers)
-        self.shards = resolve_shards(shards, self.workers)
+        self.plan_request = ensure_plan(plan)
+        self._explicit_knobs = {
+            "backend": backend,
+            "workers": workers,
+            "shards": shards,
+        }
+        # Eager resolution keeps the attributes meaningful before mine();
+        # an auto request re-materializes them per database at mine time.
+        with plan_scope(self.plan_request):
+            self.backend = resolve_backend(backend)
+            self.workers = resolve_workers(workers)
+            self.shards = resolve_shards(shards, self.workers)
+        #: the fully-materialized plan of the latest run (set by mine())
+        self.plan: Optional[ExecutionPlan] = None
+
+    @contextmanager
+    def _planned(self, database: UncertainDatabase):
+        """Materialize and pin this run's :class:`ExecutionPlan`.
+
+        Every knob is resolved once, up front, through the four-tier
+        pipeline (explicit constructor arguments > the constructor's plan >
+        environment > planner default, with ``plan="auto"`` consulting the
+        cost model over ``database``'s statistics) — then the complete plan
+        is pinned with :func:`~repro.plan.plan_scope` for the duration of
+        the mine, so every downstream consumer (SupportEngine, the columnar
+        kernels, the parallel executor) sees one immutable configuration,
+        immune to concurrent environment changes or other threads' scopes.
+        """
+        plan = materialize_plan(
+            self.plan_request, database, explicit=self._explicit_knobs
+        )
+        self.plan = plan
+        self.backend = plan.backend
+        self.workers = plan.workers
+        self.shards = plan.shards
+        with plan_scope(plan):
+            yield plan
 
     def _new_statistics(self) -> MiningStatistics:
         statistics = MiningStatistics(algorithm=self.name)
         statistics.notes["backend"] = float(self.backend == "columnar")
         statistics.notes["workers"] = float(self.workers)
         statistics.notes["shards"] = float(self.shards)
+        if self.plan is not None:
+            statistics.notes["bitset"] = float(bool(self.plan.bitset))
+            statistics.notes["conv_span"] = float(self.plan.conv_span)
         return statistics
 
     def _open_executor(self, database: UncertainDatabase) -> ParallelExecutor:
@@ -99,7 +148,8 @@ class ExpectedSupportMiner(MinerBase):
         an absolute expected support (``x > 1``).
         """
         threshold = ExpectedSupportThreshold(min_esup)
-        return self._mine(database, threshold.absolute(len(database)))
+        with self._planned(database):
+            return self._mine(database, threshold.absolute(len(database)))
 
     @abstractmethod
     def _mine(self, database: UncertainDatabase, min_expected_support: float) -> MiningResult:
@@ -118,7 +168,8 @@ class ProbabilisticMiner(MinerBase):
         probabilistic frequentness threshold.
         """
         threshold = ProbabilisticThreshold(min_sup, pft)
-        return self._mine(database, threshold.min_count(len(database)), pft)
+        with self._planned(database):
+            return self._mine(database, threshold.min_count(len(database)), pft)
 
     @abstractmethod
     def _mine(self, database: UncertainDatabase, min_count: int, pft: float) -> MiningResult:

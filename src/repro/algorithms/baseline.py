@@ -47,11 +47,16 @@ class ExhaustiveExpectedSupportMiner(ExpectedSupportMiner):
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        plan=None,
     ) -> None:
         # workers/shards are accepted for interface uniformity; the
         # references deliberately stay single-process and per-candidate.
         super().__init__(
-            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+            track_memory=track_memory,
+            backend=backend,
+            workers=workers,
+            shards=shards,
+            plan=plan,
         )
         self.max_size = max_size
 
@@ -91,9 +96,14 @@ class ExhaustiveProbabilisticMiner(ProbabilisticMiner):
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        plan=None,
     ) -> None:
         super().__init__(
-            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+            track_memory=track_memory,
+            backend=backend,
+            workers=workers,
+            shards=shards,
+            plan=plan,
         )
         self.max_size = max_size
 

@@ -46,6 +46,7 @@ class DCMiner(ProbabilisticAprioriMiner):
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        plan=None,
     ) -> None:
         super().__init__(
             use_pruning=use_pruning,
@@ -54,6 +55,7 @@ class DCMiner(ProbabilisticAprioriMiner):
             backend=backend,
             workers=workers,
             shards=shards,
+            plan=plan,
         )
         self.use_fft = use_fft
         self.name = "dcb" if use_pruning else "dcnb"

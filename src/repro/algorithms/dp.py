@@ -41,6 +41,7 @@ class DPMiner(ProbabilisticAprioriMiner):
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        plan=None,
     ) -> None:
         super().__init__(
             use_pruning=use_pruning,
@@ -49,6 +50,7 @@ class DPMiner(ProbabilisticAprioriMiner):
             backend=backend,
             workers=workers,
             shards=shards,
+            plan=plan,
         )
         self.name = "dpb" if use_pruning else "dpnb"
 

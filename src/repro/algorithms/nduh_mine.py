@@ -42,9 +42,14 @@ class NDUHMine(ProbabilisticMiner):
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        plan=None,
     ) -> None:
         super().__init__(
-            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+            track_memory=track_memory,
+            backend=backend,
+            workers=workers,
+            shards=shards,
+            plan=plan,
         )
 
     @staticmethod

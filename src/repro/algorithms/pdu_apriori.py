@@ -45,9 +45,14 @@ class PDUApriori(ProbabilisticMiner):
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        plan=None,
     ) -> None:
         super().__init__(
-            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+            track_memory=track_memory,
+            backend=backend,
+            workers=workers,
+            shards=shards,
+            plan=plan,
         )
         self.report_probabilities = report_probabilities
         self.use_decremental_pruning = use_decremental_pruning

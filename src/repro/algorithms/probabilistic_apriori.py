@@ -84,9 +84,14 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        plan=None,
     ) -> None:
         super().__init__(
-            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+            track_memory=track_memory,
+            backend=backend,
+            workers=workers,
+            shards=shards,
+            plan=plan,
         )
         self.use_pruning = use_pruning
         self.item_prefilter = item_prefilter

@@ -76,12 +76,17 @@ class WorldSamplingMiner(ProbabilisticMiner):
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        plan=None,
     ) -> None:
         # workers/shards are accepted for interface uniformity; the sampler
         # stays serial because its single random stream is part of the
         # deterministic contract (identical estimates for a given seed).
         super().__init__(
-            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+            track_memory=track_memory,
+            backend=backend,
+            workers=workers,
+            shards=shards,
+            plan=plan,
         )
         if n_worlds <= 0:
             raise ValueError("n_worlds must be positive")

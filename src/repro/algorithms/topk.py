@@ -109,9 +109,14 @@ class TopKMiner(MinerBase):
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        plan=None,
     ) -> None:
         super().__init__(
-            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+            track_memory=track_memory,
+            backend=backend,
+            workers=workers,
+            shards=shards,
+            plan=plan,
         )
         self.evaluator = resolve_evaluator(evaluator)
         self.ranking = EVALUATOR_RANKINGS[self.evaluator]
@@ -140,6 +145,12 @@ class TopKMiner(MinerBase):
                 )
             min_count = ProbabilisticThreshold(float(min_sup)).min_count(len(database))
 
+        with self._planned(database):
+            return self._mine_topk(database, k, min_count)
+
+    def _mine_topk(
+        self, database: UncertainDatabase, k: int, min_count: Optional[int]
+    ) -> TopKResult:
         statistics = self._new_statistics()
         statistics.algorithm = f"topk-{self.evaluator}"
         with instrumented_run(statistics, self.track_memory), self._open_executor(

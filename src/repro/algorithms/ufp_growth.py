@@ -156,9 +156,14 @@ class UFPGrowth(ExpectedSupportMiner):
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        plan=None,
     ) -> None:
         super().__init__(
-            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+            track_memory=track_memory,
+            backend=backend,
+            workers=workers,
+            shards=shards,
+            plan=plan,
         )
         if probability_precision is not None and probability_precision < 1:
             # At precision 0 the rounding grid is the whole unit interval:

@@ -90,9 +90,14 @@ class UHMine(ExpectedSupportMiner):
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        plan=None,
     ) -> None:
         super().__init__(
-            track_memory=track_memory, backend=backend, workers=workers, shards=shards
+            track_memory=track_memory,
+            backend=backend,
+            workers=workers,
+            shards=shards,
+            plan=plan,
         )
         self.track_variance = track_variance
 

@@ -33,6 +33,12 @@ Five subcommands cover the common workflows:
     Run the mining service (:mod:`repro.service`): a long-lived JSON-over-
     socket server with a warm dataset registry, a monotonicity-exploiting
     result cache and bounded concurrent admission.
+
+``repro-mine plan-explain``
+    Show the :class:`~repro.plan.ExecutionPlan` a mine of the dataset would
+    run under — dataset features, the chosen value and source of every
+    knob, and (under ``--plan auto``) the planner's rationale and predicted
+    cost.
 """
 
 from __future__ import annotations
@@ -274,6 +280,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--no-cache", action="store_true", help="disable the result cache"
     )
+
+    explain_parser = subparsers.add_parser(
+        "plan-explain",
+        help="show the execution plan a mine of one dataset would run under",
+    )
+    explain_parser.add_argument(
+        "--dataset", "-d", default="accident", help="benchmark dataset name or path to an item:probability file"
+    )
+    explain_parser.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="explain a mine of an out-of-core columnar store instead of --dataset",
+    )
+    explain_parser.add_argument("--scale", type=float, default=0.002, help="benchmark scale factor")
+    explain_parser.add_argument(
+        "--plan",
+        default="auto",
+        metavar="SPEC",
+        help="plan request to explain (default: auto, the cost-model planner)",
+    )
     return parser
 
 
@@ -316,6 +345,19 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
             "(default: REPRO_FANOUT or auto; results are identical either way)"
         ),
     )
+    parser.add_argument(
+        "--plan",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "execution plan: 'auto' for the cost-model planner, or a "
+            "comma-separated knob spec such as "
+            "'backend=columnar,workers=4,conv_span=256' "
+            "(default: REPRO_PLAN; --backend/--workers/--shards stay the "
+            "strongest tier, but a knob named in --plan beats the same "
+            "knob given via --bitset/--fanout or environment variables)"
+        ),
+    )
 
 
 def _command_list() -> int:
@@ -351,6 +393,7 @@ def _command_mine(args: argparse.Namespace) -> int:
             backend=args.backend,
             workers=args.workers,
             shards=args.shards,
+            plan=args.plan,
         )
     else:
         threshold = args.min_sup if args.min_sup is not None else 0.5
@@ -362,6 +405,7 @@ def _command_mine(args: argparse.Namespace) -> int:
             backend=args.backend,
             workers=args.workers,
             shards=args.shards,
+            plan=args.plan,
         )
 
     statistics = result.statistics
@@ -406,6 +450,7 @@ def _command_mine_topk(args: argparse.Namespace) -> int:
         backend=args.backend,
         workers=args.workers,
         shards=args.shards,
+        plan=args.plan,
     )
     statistics = result.statistics
     label = "esup ranking" if ranking == "esup" else f"Pr ranking at min_sup={min_sup}"
@@ -434,6 +479,7 @@ def _command_mine_topk(args: argparse.Namespace) -> int:
             backend=args.backend,
             workers=args.workers,
             shards=args.shards,
+            plan=args.plan,
         )
         matches = result.ranked_keys() == baseline.ranked_keys()
         print(
@@ -456,6 +502,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
                 backend=args.backend,
                 workers=args.workers,
                 shards=args.shards,
+                plan=args.plan,
             )
             rows = [point.as_dict() for point in points]
             print(
@@ -494,6 +541,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
                 backend=args.backend,
                 workers=args.workers,
                 shards=args.shards,
+                plan=args.plan,
             )
             print(reporting.format_accuracy_table(points))
         else:
@@ -503,6 +551,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
                 backend=args.backend,
                 workers=args.workers,
                 shards=args.shards,
+                plan=args.plan,
             )
             print(reporting.format_sweep_table(points))
         print()
@@ -525,7 +574,7 @@ def _command_stream_mine(args: argparse.Namespace) -> int:
     batch_algorithm, batch_kwargs = BATCH_EQUIVALENTS[args.algorithm], dict(options)
 
     stream = TransactionStream.from_database(database)
-    miner = make_streaming_miner(args.algorithm, args.window, **options)
+    miner = make_streaming_miner(args.algorithm, args.window, plan=args.plan, **options)
 
     print(
         f"stream-{args.algorithm}: window={args.window} step={args.step} "
@@ -551,6 +600,7 @@ def _command_stream_mine(args: argparse.Namespace) -> int:
                 backend=args.backend,
                 workers=args.workers,
                 shards=args.shards,
+                plan=args.plan,
                 **batch_kwargs,
             )
             matches = {r.itemset.items for r in result} == {
@@ -596,6 +646,43 @@ def _command_store_build(args: argparse.Namespace) -> int:
         f"manifest {store.manifest_nbytes} bytes "
         f"(mine with: repro-mine mine --store {store.directory})"
     )
+    return 0
+
+
+def _command_plan_explain(args: argparse.Namespace) -> int:
+    from .plan import (
+        DatasetFeatures,
+        Planner,
+        ensure_plan,
+        materialize_plan,
+        plan_request_is_auto,
+    )
+
+    database = _load_mine_database(args)
+    request = ensure_plan(args.plan)
+    auto = plan_request_is_auto(request)
+    planner = Planner.from_trajectory()
+    features = DatasetFeatures.from_database(database)
+    resolved = materialize_plan(request, database, planner=planner)
+
+    print(
+        f"plan-explain: {getattr(database, 'name', args.dataset)} -- "
+        f"request {args.plan!r}"
+        + (" (cost-model planner engaged)" if auto else "")
+    )
+    print("features:")
+    for key, value in features.to_dict().items():
+        rendered = f"{value:.4g}" if isinstance(value, float) else f"{value}"
+        print(f"  {key:20s} {rendered}")
+    print("plan:")
+    for name, value in resolved.knob_items():
+        print(f"  {name:20s} {value}")
+    print(f"predicted cost: {planner.predict_seconds(features, resolved):.4f}s")
+    if auto:
+        decision = planner.plan(features)
+        print("rationale:")
+        for key, reason in decision.rationale.items():
+            print(f"  {key}: {reason}")
     return 0
 
 
@@ -666,6 +753,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_store_build(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "plan-explain":
+        return _command_plan_explain(args)
     with bitset_scope(getattr(args, "bitset", None)), fanout_scope(
         getattr(args, "fanout", None)
     ):

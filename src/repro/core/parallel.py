@@ -56,10 +56,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..plan.spec import ExecutionPlan, plan_scope, resolve_knob
 from .support import (
     dc_tail_probabilities,
     frequent_probabilities_dp_batch,
     pack_probability_matrix,
+    resolve_conv_span,
 )
 
 __all__ = [
@@ -128,39 +130,23 @@ def resolve_fanout(value: Optional[str] = None) -> str:
     >>> resolve_fanout("shm"), resolve_fanout("PICKLE")
     ('shm', 'pickle')
     """
-    if value is None:
-        value = os.environ.get(FANOUT_ENV, "")
-    lowered = str(value).strip().lower()
-    if not lowered:
-        return "auto"
-    if lowered in _FANOUT_MODES:
-        return lowered
-    raise ValueError(
-        f"fanout must be one of {'/'.join(_FANOUT_MODES)}, got {value!r}"
-    )
+    return resolve_knob("fanout", value)
 
 
 @contextmanager
 def fanout_scope(value: Optional[str]):
-    """Temporarily pin the process-wide fan-out default (``None`` = no-op).
+    """Pin the fan-out default for the current context (``None`` = no-op).
 
-    Mirrors :func:`repro.db.columnar.bitset_scope`: the CLI and the
-    benchmarks use it to force one run onto a specific dispatch path
-    without touching the caller's environment.
+    Mirrors :func:`repro.db.columnar.bitset_scope`: a thin wrapper around
+    :func:`repro.plan.spec.plan_scope`, kept for the historical calling
+    convention.  No longer mutates ``os.environ`` — the setting is scoped
+    to this thread/context only.
     """
     if value is None:
         yield
         return
-    resolved = resolve_fanout(value)
-    previous = os.environ.get(FANOUT_ENV)
-    os.environ[FANOUT_ENV] = resolved
-    try:
+    with plan_scope(ExecutionPlan(fanout=resolve_fanout(value))):
         yield
-    finally:
-        if previous is None:
-            os.environ.pop(FANOUT_ENV, None)
-        else:
-            os.environ[FANOUT_ENV] = previous
 
 
 def _available_cpus() -> int:
@@ -188,19 +174,9 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     >>> resolve_workers(1)
     1
     """
-    if workers is None:
-        raw = os.environ.get(WORKERS_ENV, "").strip()
-        if not raw:
-            return 1
-        if raw.lower() == "auto":
-            return _available_cpus()
-        workers = int(raw)
-    workers = int(workers)
-    if workers == 0:
-        return _available_cpus()
-    if workers < 0:
-        raise ValueError(f"workers must be >= 0, got {workers}")
-    return workers
+    if workers is not None and not isinstance(workers, str):
+        workers = int(workers)
+    return resolve_knob("workers", workers)
 
 
 def resolve_shards(shards: Optional[int] = None, workers: int = 1) -> int:
@@ -221,13 +197,7 @@ def resolve_shards(shards: Optional[int] = None, workers: int = 1) -> int:
     >>> resolve_shards(None, workers=2)
     2
     """
-    if shards is None:
-        raw = os.environ.get(SHARDS_ENV, "").strip()
-        shards = int(raw) if raw else max(1, int(workers))
-    shards = int(shards)
-    if shards < 1:
-        raise ValueError(f"shards must be >= 1, got {shards}")
-    return shards
+    return resolve_knob("shards", shards, workers=workers)
 
 
 def even_chunks(items: Sequence[Any], n_chunks: int) -> List[Sequence[Any]]:
@@ -313,9 +283,13 @@ def _dp_tail_task(payload: Tuple[List[np.ndarray], int]) -> np.ndarray:
     return frequent_probabilities_dp_batch(pack_probability_matrix(vectors), min_count)
 
 
-def _dc_tail_task(payload: Tuple[List[np.ndarray], int]) -> np.ndarray:
-    vectors, min_count = payload
-    return dc_tail_probabilities(vectors, min_count)
+def _dc_tail_task(payload: Tuple[List[np.ndarray], int, int]) -> np.ndarray:
+    # ``span`` rides inside the payload: the coordinator resolves the
+    # conv_span plan knob once and ships it, because contextvar-backed plan
+    # scopes do not propagate into forked worker processes and the
+    # crossover is bitwise-relevant (FFT round-off).
+    vectors, min_count, span = payload
+    return dc_tail_probabilities(vectors, min_count, span=span)
 
 
 def _freeze(value: Any) -> Any:
@@ -665,10 +639,11 @@ class ParallelExecutor:
     def dc_tails(self, vectors: Sequence[np.ndarray], min_count: int) -> np.ndarray:
         """Candidate-chunked divide-and-conquer tail evaluation (FFT path)."""
         vectors = list(vectors)
+        span = resolve_conv_span()  # coordinator-resolved, shipped to workers
         if not self.should_distribute(len(vectors)):
-            return _dc_tail_task((vectors, int(min_count)))
+            return _dc_tail_task((vectors, int(min_count), span))
         chunks = even_chunks(vectors, self.workers)
         results = self._map(
-            _dc_tail_task, [(list(chunk), int(min_count)) for chunk in chunks]
+            _dc_tail_task, [(list(chunk), int(min_count), span) for chunk in chunks]
         )
         return np.concatenate(results) if results else np.zeros(0, dtype=float)

@@ -26,6 +26,8 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..plan.spec import resolve_knob
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .parallel import ParallelExecutor
 
@@ -34,6 +36,7 @@ __all__ = [
     "SupportDistribution",
     "SupportEngine",
     "convolve_pmfs",
+    "resolve_conv_span",
     "dc_tail_probabilities",
     "exact_pmf_dynamic_programming",
     "exact_pmf_divide_conquer",
@@ -92,18 +95,40 @@ def exact_pmf_dynamic_programming(probabilities: Sequence[float]) -> np.ndarray:
     return pmf
 
 
-def convolve_pmfs(left: np.ndarray, right: np.ndarray, use_fft: bool = True) -> np.ndarray:
+def resolve_conv_span(span: Optional[int] = None) -> int:
+    """Resolve the direct-vs-FFT convolution crossover (``conv_span`` knob).
+
+    Operands up to this length convolve directly (exactly); strictly longer
+    ones go through the FFT.  The default of 512 is the measured crossover
+    (``benchmarks/bench_ablation_convolution.py`` span sweep: direct wins
+    up to ~512-entry operands on this NumPy, the FFT wins 3-6x above it).
+    """
+    return resolve_knob("conv_span", span)
+
+
+def convolve_pmfs(
+    left: np.ndarray,
+    right: np.ndarray,
+    use_fft: bool = True,
+    span: Optional[int] = None,
+) -> np.ndarray:
     """Convolve two support PMFs (the merge of independent disjoint row sets).
 
     The shared kernel of the DC miner, :class:`MergeableSupportStats` and
     the streaming :class:`~repro.stream.index.IncrementalSupportIndex`.
-    Operands longer than 64 entries go through the FFT when ``use_fft`` is
-    set; shorter ones use exact direct convolution.
+    Operands longer than the ``conv_span`` plan knob (default 512 — the
+    measured crossover) go through the FFT when ``use_fft`` is set; shorter
+    ones use exact direct convolution.  ``span`` pins the crossover
+    explicitly (batch callers resolve the knob once and pass it down).
 
     >>> convolve_pmfs(np.array([0.5, 0.5]), np.array([0.5, 0.5])).tolist()
     [0.25, 0.5, 0.25]
     """
-    if use_fft and (len(left) > 64 or len(right) > 64):
+    if use_fft:
+        if span is None:
+            span = resolve_conv_span()
+        use_fft = len(left) > span or len(right) > span
+    if use_fft:
         size = len(left) + len(right) - 1
         fft_size = 1 << (size - 1).bit_length()
         spectrum = np.fft.rfft(left, fft_size) * np.fft.rfft(right, fft_size)
@@ -125,7 +150,9 @@ PMF_RENORMALIZE_TOLERANCE = 1e-9
 
 
 def exact_pmf_divide_conquer(
-    probabilities: Sequence[float], use_fft: bool = True
+    probabilities: Sequence[float],
+    use_fft: bool = True,
+    span: Optional[int] = None,
 ) -> np.ndarray:
     """Exact Poisson-Binomial PMF by divide-and-conquer convolution.
 
@@ -149,9 +176,11 @@ def exact_pmf_divide_conquer(
 
     Args:
         probabilities: Per-transaction occurrence probabilities ``p_i(X)``.
-        use_fft: Convolve halves longer than 64 entries via FFT; disabling
-            falls back to quadratic direct convolution (the paper's DC
-            ablation).
+        use_fft: Convolve halves longer than the ``conv_span`` knob via
+            FFT; disabling falls back to quadratic direct convolution (the
+            paper's DC ablation).
+        span: Explicit crossover, resolved once through
+            :func:`resolve_conv_span` when omitted.
 
     Returns:
         Array of length ``N + 1``; ``result[k] = Pr[sup(X) = k]``.
@@ -160,6 +189,8 @@ def exact_pmf_divide_conquer(
     [0.25, 0.5, 0.25]
     """
     probabilities = np.asarray(probabilities, dtype=float)
+    if use_fft and span is None:
+        span = resolve_conv_span()  # resolve once, not per recursion step
 
     def _recurse(chunk: np.ndarray) -> np.ndarray:
         if len(chunk) == 0:
@@ -168,7 +199,9 @@ def exact_pmf_divide_conquer(
             p = float(chunk[0])
             return np.array([1.0 - p, p])
         middle = len(chunk) // 2
-        return convolve_pmfs(_recurse(chunk[:middle]), _recurse(chunk[middle:]), use_fft)
+        return convolve_pmfs(
+            _recurse(chunk[:middle]), _recurse(chunk[middle:]), use_fft, span=span
+        )
 
     pmf = _recurse(probabilities)
     total = pmf.sum()
@@ -445,15 +478,9 @@ DP_BLOCK_BYTES_ENV = "REPRO_DP_BLOCK_BYTES"
 DEFAULT_DP_BLOCK_BYTES = 128 << 20
 
 
-def resolve_dp_block_bytes() -> int:
-    """The serial DP's padded-matrix byte budget (``REPRO_DP_BLOCK_BYTES``)."""
-    raw = os.environ.get(DP_BLOCK_BYTES_ENV, "").strip()
-    if not raw:
-        return DEFAULT_DP_BLOCK_BYTES
-    budget = int(raw)
-    if budget < 1:
-        raise ValueError(f"{DP_BLOCK_BYTES_ENV} must be >= 1, got {budget}")
-    return budget
+def resolve_dp_block_bytes(value: Optional[int] = None) -> int:
+    """The serial DP's padded-matrix byte budget (``dp_block_bytes`` knob)."""
+    return resolve_knob("dp_block_bytes", value)
 
 
 def pack_probability_matrix(vectors: Sequence[Sequence[float]]) -> np.ndarray:
@@ -527,7 +554,9 @@ def frequent_probabilities_dp_batch(
 
 
 def dc_tail_probabilities(
-    vectors: Sequence[np.ndarray], min_count: int
+    vectors: Sequence[np.ndarray],
+    min_count: int,
+    span: Optional[int] = None,
 ) -> np.ndarray:
     """Per-candidate ``Pr[sup(X) >= min_count]`` via divide-and-conquer PMFs.
 
@@ -538,6 +567,11 @@ def dc_tail_probabilities(
     Args:
         vectors: One zeros-omitted probability vector per candidate.
         min_count: Absolute support threshold.
+        span: Explicit direct-vs-FFT crossover; resolved once through
+            :func:`resolve_conv_span` when omitted.  The parallel executor
+            resolves it on the coordinator and ships it inside the task
+            payloads, so worker processes use the coordinator's plan even
+            though contextvar scopes do not cross the fork.
 
     Returns:
         Array of exact frequent probabilities, clipped to ``[0, 1]``.
@@ -547,6 +581,8 @@ def dc_tail_probabilities(
     [0.75, 1.0]
     """
     min_count = int(min_count)
+    if span is None:
+        span = resolve_conv_span()
     results = np.empty(len(vectors), dtype=float)
     for index, vector in enumerate(vectors):
         if min_count <= 0:
@@ -554,7 +590,9 @@ def dc_tail_probabilities(
         elif min_count > len(vector):
             results[index] = 0.0
         else:
-            tail = float(exact_pmf_divide_conquer(vector)[min_count:].sum())
+            tail = float(
+                exact_pmf_divide_conquer(vector, span=span)[min_count:].sum()
+            )
             results[index] = max(0.0, min(1.0, tail))
     return results
 
@@ -987,8 +1025,9 @@ class MergeableSupportStats:
             raise ValueError("cannot merge PMF-carrying stats with PMF-free stats")
         pmfs = None
         if self.pmfs is not None and other.pmfs is not None:
+            span = resolve_conv_span()  # resolve once per merge, not per PMF
             pmfs = [
-                _convolve(left, right, use_fft=True)
+                _convolve(left, right, use_fft=True, span=span)
                 for left, right in zip(self.pmfs, other.pmfs)
             ]
         occupancy = None

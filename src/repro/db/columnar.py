@@ -53,16 +53,8 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Seque
 
 import numpy as np
 
-from .cache import (
-    BITMAP_CACHE_BYTES_ENV,
-    DEFAULT_BITMAP_CACHE_BYTES,
-    DEFAULT_DENSE_CACHE_BYTES,
-    DEFAULT_PREFIX_CACHE_BYTES,
-    DENSE_CACHE_BYTES_ENV,
-    PREFIX_CACHE_BYTES_ENV,
-    ByteBudgetLRU,
-    resolve_budget,
-)
+from ..plan.spec import ExecutionPlan, plan_scope, resolve_knob
+from .cache import ByteBudgetLRU
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .database import UncertainDatabase
@@ -74,6 +66,7 @@ __all__ = [
     "resolve_bitset",
     "bitset_scope",
     "DENSE_CROSSOVER_FRACTION",
+    "resolve_dense_crossover",
     "popcount_rows",
 ]
 
@@ -102,7 +95,14 @@ _BITSET_FALSE = ("0", "off", "false", "no")
 #: wins by the ratio of occupancy to ``N``, above it the single O(N)
 #: multiply wins because it avoids the searchsorted log-factor and the mask
 #: gathers.  0.25 sits in the indifference band across N in [2e3, 1e5].
+#: Now the plan default of the ``dense_crossover`` knob; this module-level
+#: constant is kept as the historical name for the same value.
 DENSE_CROSSOVER_FRACTION = 0.25
+
+
+def resolve_dense_crossover(value: Optional[float] = None) -> float:
+    """Resolve the sparse-vs-dense combine crossover fraction (plan knob)."""
+    return resolve_knob("dense_crossover", value)
 
 def popcount_rows(packed: np.ndarray) -> np.ndarray:
     """Per-row population count of a packed ``(rows, width)`` uint8 bitmap.
@@ -148,40 +148,23 @@ def resolve_bitset(value: Optional[Union[bool, str]] = None) -> bool:
     >>> resolve_bitset(True), resolve_bitset("off"), resolve_bitset("1")
     (True, False, True)
     """
-    if value is None:
-        value = os.environ.get(BITSET_ENV, "")
-    if isinstance(value, bool):
-        return value
-    lowered = str(value).strip().lower()
-    if lowered in _BITSET_TRUE:
-        return True
-    if lowered in _BITSET_FALSE:
-        return False
-    raise ValueError(
-        f"bitset must be one of on/off/true/false/1/0/yes/no, got {value!r}"
-    )
+    return resolve_knob("bitset", value)
 
 
 @contextmanager
 def bitset_scope(value: Optional[Union[bool, str]]):
-    """Temporarily pin the process-wide bitset default (``None`` = no-op).
+    """Pin the bitset default for the current context (``None`` = no-op).
 
-    Used by the evaluation runner and the CLI so one run can be forced onto
-    either evaluation path without touching the caller's environment.
+    A thin wrapper around :func:`repro.plan.spec.plan_scope` kept for the
+    historical calling convention.  Unlike the pre-plan implementation this
+    no longer mutates ``os.environ``, so concurrent threads (the mining
+    service's request executors) never observe each other's setting.
     """
     if value is None:
         yield
         return
-    resolved = resolve_bitset(value)
-    previous = os.environ.get(BITSET_ENV)
-    os.environ[BITSET_ENV] = "on" if resolved else "off"
-    try:
+    with plan_scope(ExecutionPlan(bitset=resolve_bitset(value))):
         yield
-    finally:
-        if previous is None:
-            os.environ.pop(BITSET_ENV, None)
-        else:
-            os.environ[BITSET_ENV] = previous
 
 
 class ColumnarView:
@@ -233,20 +216,14 @@ class ColumnarView:
         never correctness.
         """
         #: lazily scattered dense columns, built per item on first dense combine
-        self._dense_columns = ByteBudgetLRU(
-            resolve_budget(DENSE_CACHE_BYTES_ENV, DEFAULT_DENSE_CACHE_BYTES)
-        )
+        self._dense_columns = ByteBudgetLRU(resolve_knob("dense_cache_bytes"))
         #: packed per-item occupancy bitmaps (stage 1 of the cascade)
-        self._bitmaps = ByteBudgetLRU(
-            resolve_budget(BITMAP_CACHE_BYTES_ENV, DEFAULT_BITMAP_CACHE_BYTES)
-        )
+        self._bitmaps = ByteBudgetLRU(resolve_knob("bitmap_cache_bytes"))
         #: cross-level prefix columns (stage 2 of the cascade): the frequent
         #: ``k-1``-columns of one level are exactly the join prefixes of the
         #: next, so persisting them across ``batch_columns`` calls turns a
         #: full prefix rebuild into a single gather-and-multiply
-        self._prefix_cache = ByteBudgetLRU(
-            resolve_budget(PREFIX_CACHE_BYTES_ENV, DEFAULT_PREFIX_CACHE_BYTES)
-        )
+        self._prefix_cache = ByteBudgetLRU(resolve_knob("prefix_cache_bytes"))
 
     # -- pickling ----------------------------------------------------------------------
     def __getstate__(self):
@@ -752,7 +729,7 @@ class ColumnarView:
         if len(rows) == 0 or len(other_rows) == 0:
             return _EMPTY_COLUMN
         if len(rows) + len(other_rows) >= int(
-            self._n_transactions * DENSE_CROSSOVER_FRACTION
+            self._n_transactions * resolve_dense_crossover()
         ):
             dense = np.zeros(self._n_transactions, dtype=np.float64)
             dense[rows] = probs
@@ -790,7 +767,7 @@ class ColumnarView:
         other_rows, other_probs = self.column(item)
         if len(rows) == 0 or len(other_rows) == 0:
             return _EMPTY_COLUMN
-        if len(other_rows) >= int(self._n_transactions * DENSE_CROSSOVER_FRACTION):
+        if len(other_rows) >= int(self._n_transactions * resolve_dense_crossover()):
             product = probs * self._dense_column(item)[rows]
             mask = product != 0.0
             return rows[mask], product[mask]

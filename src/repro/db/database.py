@@ -14,6 +14,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..plan.spec import BACKENDS, resolve_knob
 from .columnar import ColumnarView
 from .partition import ColumnarPartition
 from .transaction import UncertainTransaction
@@ -21,17 +22,16 @@ from .vocabulary import Vocabulary
 
 __all__ = ["UncertainDatabase", "DatabaseStats", "BACKENDS", "resolve_backend"]
 
-#: the two probability-evaluation backends of the database
-BACKENDS = ("rows", "columnar")
-
 
 def resolve_backend(backend: Optional[str]) -> str:
-    """Validate a backend name, resolving ``None`` to the default backend."""
-    if backend is None:
-        return UncertainDatabase.default_backend
-    if backend not in BACKENDS:
-        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
-    return backend
+    """Resolve a backend name through the plan pipeline.
+
+    ``None`` walks the remaining tiers — a scoped
+    :func:`~repro.plan.spec.plan_scope` plan, the environment
+    (``REPRO_BACKEND``, then ``REPRO_PLAN``), and finally
+    :attr:`UncertainDatabase.default_backend`.
+    """
+    return resolve_knob("backend", backend)
 
 
 class DatabaseStats:

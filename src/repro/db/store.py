@@ -58,7 +58,8 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .cache import ByteBudgetLRU, resolve_budget
+from ..plan.spec import resolve_knob
+from .cache import ByteBudgetLRU
 from .columnar import ColumnarView, ItemColumn
 from .database import DatabaseStats, UncertainDatabase
 from .transaction import UncertainTransaction
@@ -550,9 +551,7 @@ class MappedColumnarView(ColumnarView):
         self._bitmap_plane = bitmap_plane
         self._bounds_cache: Dict[int, Tuple[int, int]] = {}
         self._init_caches()
-        self._column_cache = ByteBudgetLRU(
-            resolve_budget(MAPPED_CACHE_BYTES_ENV, DEFAULT_MAPPED_CACHE_BYTES)
-        )
+        self._column_cache = ByteBudgetLRU(resolve_knob("mapped_cache_bytes"))
         self._columns = _MappedColumns(self)
 
     # -- pickling ------------------------------------------------------------------

@@ -196,6 +196,7 @@ def _mine_point(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
     shards: Optional[int] = None,
+    plan=None,
 ) -> MiningResult:
     info = get_algorithm(algorithm)
     if resolve_backend(backend) == "columnar":
@@ -220,6 +221,7 @@ def _mine_point(
         backend=backend,
         workers=workers,
         shards=shards,
+        plan=plan,
         **kwargs,
     )
 
@@ -231,6 +233,7 @@ def run_experiment(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
     shards: Optional[int] = None,
+    plan=None,
 ) -> List[SweepPoint]:
     """Run the full sweep of ``spec`` and return one row per (algorithm, value).
 
@@ -263,6 +266,7 @@ def run_experiment(
                 backend,
                 workers,
                 shards,
+                plan=plan,
             )
             points.append(
                 SweepPoint(
@@ -287,6 +291,7 @@ def run_streaming_scenario(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
     shards: Optional[int] = None,
+    plan=None,
 ) -> List[StreamPoint]:
     """Replay ``spec``'s dataset through a sliding window and mine every slide.
 
@@ -301,7 +306,7 @@ def run_streaming_scenario(
     """
     database = load_dataset(spec.dataset, **spec.dataset_kwargs)
     stream = TransactionStream.from_database(database)
-    miner = make_streaming_miner(spec.algorithm, spec.window, **spec.thresholds)
+    miner = make_streaming_miner(spec.algorithm, spec.window, plan=plan, **spec.thresholds)
 
     slides = spec.max_slides if max_slides is None else min(spec.max_slides, max_slides)
     points: List[StreamPoint] = []
@@ -324,6 +329,7 @@ def run_streaming_scenario(
                 backend,
                 workers,
                 shards,
+                plan=plan,
             )
             batch_seconds = time.perf_counter() - started
             matches = {r.itemset.items for r in result} == {
@@ -353,6 +359,7 @@ def run_topk_scenario(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
     shards: Optional[int] = None,
+    plan=None,
 ) -> List[TopKPoint]:
     """Run the k-sweep of ``spec`` and return one row per value of k.
 
@@ -385,6 +392,7 @@ def run_topk_scenario(
             backend=backend,
             workers=workers,
             shards=shards,
+            plan=plan,
         )
         scores = result.scores()
         baseline_seconds = math.nan
@@ -400,6 +408,7 @@ def run_topk_scenario(
                 backend=backend,
                 workers=workers,
                 shards=shards,
+                plan=plan,
             )
             baseline_seconds = time.perf_counter() - started
             matches = result.ranked_keys() == baseline.ranked_keys()
@@ -427,6 +436,7 @@ def run_accuracy_experiment(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
     shards: Optional[int] = None,
+    plan=None,
 ) -> List[AccuracyPoint]:
     """Run an accuracy sweep (Tables 8/9): approximate miners vs an exact reference."""
     values = list(spec.values)
@@ -442,11 +452,25 @@ def run_accuracy_experiment(
         database = shared_database or _build_dataset(spec, value)
         thresholds = _thresholds_for(spec, value)
         exact = _mine_point(
-            database, reference_algorithm, thresholds, False, backend, workers, shards
+            database,
+            reference_algorithm,
+            thresholds,
+            False,
+            backend,
+            workers,
+            shards,
+            plan=plan,
         )
         for algorithm in spec.algorithms:
             approximate = _mine_point(
-                database, algorithm, thresholds, False, backend, workers, shards
+                database,
+                algorithm,
+                thresholds,
+                False,
+                backend,
+                workers,
+                shards,
+                plan=plan,
             )
             report = compare_results(approximate, exact)
             points.append(

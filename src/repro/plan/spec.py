@@ -1,0 +1,606 @@
+"""The unified :class:`ExecutionPlan` and its four-tier knob resolution.
+
+Before this module every tuning knob of the stack had its own ad-hoc
+``resolve_*`` function and environment variable, scattered across
+``db/database.py`` (backend), ``db/columnar.py`` (bitset cascade, cache
+budgets, dense crossover), ``core/parallel.py`` (workers, shards, fanout)
+and ``core/support.py`` (DP block bytes, convolution strategy) — and the
+``bitset_scope``/``fanout_scope`` context managers pinned their defaults by
+*mutating the process environment*, which races under the threaded mining
+service.
+
+This module replaces all of that with one registry of knobs and one
+resolution pipeline.  Every knob resolves through exactly four tiers::
+
+    explicit argument  >  scoped plan  >  environment  >  planner default
+
+* **explicit argument** — the value handed to a function or constructor
+  (``TopKMiner(workers=4)``, ``resolve_bitset("off")``).
+* **scoped plan** — the innermost :func:`plan_scope` context manager.
+  Scopes are backed by :mod:`contextvars`, so concurrent threads (the
+  mining service's request executors) never observe each other's plans.
+* **environment** — the knob's own environment variable
+  (``REPRO_WORKERS=4``), falling back to the knob's entry in the composite
+  ``REPRO_PLAN`` spec (``REPRO_PLAN=workers=4,bitset=off``).  The
+  pre-plan per-knob variables keep working as deprecated aliases; reading
+  one emits a single :class:`DeprecationWarning` per variable per process.
+* **planner default** — the static default from the registry below, or the
+  value chosen by the cost-model planner (:mod:`repro.plan.planner`) when
+  the run was materialized with ``plan="auto"``.
+
+The pipeline is *pure resolution*: no tier ever writes to ``os.environ``.
+
+>>> plan = ExecutionPlan(workers=4, bitset=False)
+>>> with plan_scope(plan):
+...     resolve_knob("workers"), resolve_knob("bitset")
+(4, False)
+>>> resolve_knob("workers", 2)  # explicit beats everything
+2
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "BACKENDS",
+    "PLAN_ENV",
+    "ExecutionPlan",
+    "Knob",
+    "KNOBS",
+    "active_plan",
+    "ensure_plan",
+    "parse_plan_spec",
+    "plan_scope",
+    "reset_deprecation_warnings",
+    "resolve_knob",
+]
+
+#: composite plan environment variable: ``auto`` or a ``k=v,k=v`` spec
+PLAN_ENV = "REPRO_PLAN"
+
+#: the probability-evaluation backends (canonical definition; re-exported
+#: by :mod:`repro.db.database` for backwards compatibility)
+BACKENDS = ("rows", "columnar")
+
+_BITSET_TRUE = ("", "1", "on", "true", "yes")
+_BITSET_FALSE = ("0", "off", "false", "no")
+_FANOUT_MODES = ("auto", "shm", "pickle")
+
+_BYTE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def _available_cpus() -> int:
+    """Number of CPUs the process may actually use (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+# -- per-knob parsers ------------------------------------------------------------------
+# Each parser normalizes an explicit value (bool/int/float/str, including the
+# raw strings arriving from environment variables and ``k=v`` plan specs) into
+# the knob's canonical representation, raising ``ValueError`` with the same
+# message the historical resolve_* function used.
+
+
+def _parse_backend(value: Any) -> str:
+    value = str(value).strip().lower() if not isinstance(value, str) else value
+    if value not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {value!r}")
+    return value
+
+
+def _parse_bitset(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    lowered = str(value).strip().lower()
+    if lowered in _BITSET_TRUE:
+        return True
+    if lowered in _BITSET_FALSE:
+        return False
+    raise ValueError(
+        f"bitset must be one of on/off/true/false/1/0/yes/no, got {value!r}"
+    )
+
+
+def _parse_fanout(value: Any) -> str:
+    lowered = str(value).strip().lower()
+    if not lowered:
+        return "auto"
+    if lowered in _FANOUT_MODES:
+        return lowered
+    raise ValueError(
+        f"fanout must be one of {'/'.join(_FANOUT_MODES)}, got {value!r}"
+    )
+
+
+def _parse_workers(value: Any) -> int:
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered == "auto":
+            return _available_cpus()
+        value = int(lowered)
+    workers = int(value)
+    if workers == 0:
+        return _available_cpus()
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _parse_shards(value: Any) -> int:
+    shards = int(value)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return shards
+
+
+def _parse_dense_crossover(value: Any) -> float:
+    crossover = float(value)
+    if not 0.0 <= crossover <= 1.0:
+        raise ValueError(f"dense_crossover must be in [0, 1], got {crossover}")
+    return crossover
+
+
+def _parse_conv_span(value: Any) -> int:
+    span = int(value)
+    if span < 0:
+        raise ValueError(f"conv_span must be >= 0 (0 = never use the FFT), got {span}")
+    return span
+
+
+def _parse_bytes(value: Any, *, minimum: int, label: str) -> int:
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        scale = 1
+        if lowered and lowered[-1] in _BYTE_SUFFIXES:
+            scale = _BYTE_SUFFIXES[lowered[-1]]
+            lowered = lowered[:-1]
+        value = int(lowered) * scale
+    amount = int(value)
+    if amount < minimum:
+        raise ValueError(f"{label} must be >= {minimum}, got {amount}")
+    return amount
+
+
+def _byte_parser(minimum: int, label: str) -> Callable[[Any], int]:
+    return lambda value: _parse_bytes(value, minimum=minimum, label=label)
+
+
+# -- the knob registry -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One tuning knob: its parser, environment alias and planner default.
+
+    Attributes
+    ----------
+    name:
+        The :class:`ExecutionPlan` field name.
+    env:
+        The per-knob environment variable consulted at the environment tier.
+    legacy:
+        Whether ``env`` predates the plan pipeline; reading a legacy
+        variable emits a one-shot :class:`DeprecationWarning` (the variable
+        keeps working — it is an alias for the plan knob, not an error).
+    default:
+        The static planner default, or ``None`` when the default is
+        computed dynamically (backend follows
+        ``UncertainDatabase.default_backend``; shards follow the resolved
+        worker count).
+    parse:
+        Normalizer/validator applied to every explicit, scoped, env and
+        spec value.
+    """
+
+    name: str
+    env: str
+    legacy: bool
+    default: Any
+    parse: Callable[[Any], Any]
+    doc: str = ""
+
+
+KNOBS: Dict[str, Knob] = {
+    knob.name: knob
+    for knob in (
+        Knob(
+            "backend", "REPRO_BACKEND", True, None, _parse_backend,
+            "probability-evaluation backend: columnar (vectorized) or rows (oracle)",
+        ),
+        Knob(
+            "bitset", "REPRO_BITSET", True, True, _parse_bitset,
+            "bitset evaluation cascade: packed-bitmap kills + prefix caching",
+        ),
+        Knob(
+            "fanout", "REPRO_FANOUT", True, "auto", _parse_fanout,
+            "shard dispatch to workers: auto/shm descriptors or legacy pickle",
+        ),
+        Knob(
+            "workers", "REPRO_WORKERS", True, 1, _parse_workers,
+            "worker processes for the partition-parallel engine (0/auto = CPUs)",
+        ),
+        Knob(
+            "shards", "REPRO_SHARDS", True, None, _parse_shards,
+            "row shards of the columnar view (default: the worker count)",
+        ),
+        Knob(
+            "dense_crossover", "REPRO_DENSE_CROSSOVER", False, 0.25, _parse_dense_crossover,
+            "fraction of N above which itemset columns combine via dense kernels",
+        ),
+        Knob(
+            "conv_span", "REPRO_CONV_SPAN", False, 512, _parse_conv_span,
+            "PMF operand length above which convolutions go through the FFT",
+        ),
+        Knob(
+            "dp_block_bytes", "REPRO_DP_BLOCK_BYTES", True, 128 << 20,
+            _byte_parser(1, "dp_block_bytes"),
+            "padded-matrix byte budget of the batched DP recurrence",
+        ),
+        Knob(
+            "dense_cache_bytes", "REPRO_DENSE_CACHE_BYTES", True, 16 << 20,
+            _byte_parser(0, "dense_cache_bytes"),
+            "byte budget of the dense column cache",
+        ),
+        Knob(
+            "bitmap_cache_bytes", "REPRO_BITMAP_CACHE_BYTES", True, 16 << 20,
+            _byte_parser(0, "bitmap_cache_bytes"),
+            "byte budget of the packed occupancy-bitmap cache",
+        ),
+        Knob(
+            "prefix_cache_bytes", "REPRO_PREFIX_CACHE_BYTES", True, 32 << 20,
+            _byte_parser(0, "prefix_cache_bytes"),
+            "byte budget of the cross-level prefix-vector cache",
+        ),
+        Knob(
+            "mapped_cache_bytes", "REPRO_MAPPED_CACHE_BYTES", True, 64 << 20,
+            _byte_parser(0, "mapped_cache_bytes"),
+            "byte budget of the mapped-store column cache",
+        ),
+    )
+}
+
+
+# -- deprecation bookkeeping -----------------------------------------------------------
+
+_WARNED_ENVS: set = set()
+_WARNED_LOCK = threading.Lock()
+
+
+def _warn_legacy_env(knob: Knob) -> None:
+    if knob.env in _WARNED_ENVS:
+        return
+    with _WARNED_LOCK:
+        if knob.env in _WARNED_ENVS:
+            return
+        _WARNED_ENVS.add(knob.env)
+    warnings.warn(
+        f"{knob.env} is deprecated; set the {knob.name!r} knob through "
+        f"--plan / {PLAN_ENV} (e.g. {PLAN_ENV}={knob.name}=...) instead. "
+        "The variable keeps working as an alias.",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which legacy variables have warned (test helper)."""
+    with _WARNED_LOCK:
+        _WARNED_ENVS.clear()
+
+
+# -- the plan object -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """An immutable, partially-specified assignment of tuning knobs.
+
+    ``None`` fields are *unset*: resolution falls through to the next tier.
+    Set fields are normalized at construction time through the knob parsers
+    (so ``ExecutionPlan(bitset="off").bitset is False``).
+
+    ``auto=True`` marks the plan as a request for the cost-model planner:
+    when such a plan reaches a miner, the planner fills the *default* tier
+    from dataset statistics (explicitly set fields, scoped plans and
+    environment variables still take precedence, in that order).
+
+    >>> plan = ExecutionPlan(workers="auto", bitset="off")
+    >>> plan.bitset, plan.workers >= 1
+    (False, True)
+    >>> ExecutionPlan.from_dict(plan.to_dict()) == plan
+    True
+    """
+
+    backend: Optional[str] = None
+    bitset: Optional[bool] = None
+    fanout: Optional[str] = None
+    workers: Optional[int] = None
+    shards: Optional[int] = None
+    dense_crossover: Optional[float] = None
+    conv_span: Optional[int] = None
+    dp_block_bytes: Optional[int] = None
+    dense_cache_bytes: Optional[int] = None
+    bitmap_cache_bytes: Optional[int] = None
+    prefix_cache_bytes: Optional[int] = None
+    mapped_cache_bytes: Optional[int] = None
+    auto: bool = False
+
+    def __post_init__(self) -> None:
+        for name, knob in KNOBS.items():
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, knob.parse(value))
+        object.__setattr__(self, "auto", bool(self.auto))
+
+    # -- construction ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "ExecutionPlan":
+        """Build a plan from a mapping, rejecting unknown keys.
+
+        >>> ExecutionPlan.from_dict({"workers": 2}).workers
+        2
+        >>> ExecutionPlan.from_dict({"wrokers": 2})
+        Traceback (most recent call last):
+            ...
+        ValueError: unknown plan knob(s): 'wrokers' (known: auto, backend, ...)
+        """
+        unknown = sorted(set(mapping) - set(KNOBS) - {"auto"})
+        if unknown:
+            known = ", ".join(sorted(list(KNOBS) + ["auto"])[:2]) + ", ..."
+            listed = ", ".join(repr(key) for key in unknown)
+            raise ValueError(f"unknown plan knob(s): {listed} (known: {known})")
+        return cls(**dict(mapping))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The set fields as a plain dict (round-trips through from_dict)."""
+        payload: Dict[str, Any] = {
+            name: getattr(self, name)
+            for name in KNOBS
+            if getattr(self, name) is not None
+        }
+        if self.auto:
+            payload["auto"] = True
+        return payload
+
+    # -- algebra -----------------------------------------------------------------------
+    def merged_over(self, base: Optional["ExecutionPlan"]) -> "ExecutionPlan":
+        """This plan layered over ``base``: our set fields win, gaps inherit."""
+        if base is None:
+            return self
+        values = base.to_dict()
+        values.update(self.to_dict())
+        values["auto"] = self.auto or base.auto
+        return ExecutionPlan(**values)
+
+    def is_empty(self) -> bool:
+        return not self.to_dict()
+
+    def knob_items(self) -> Iterator[Tuple[str, Any]]:
+        """Iterate ``(name, value)`` over the *set* knob fields."""
+        for name in KNOBS:
+            value = getattr(self, name)
+            if value is not None:
+                yield name, value
+
+
+def ensure_plan(
+    plan: Union[None, str, Mapping[str, Any], ExecutionPlan]
+) -> Optional[ExecutionPlan]:
+    """Coerce the common plan spellings into an :class:`ExecutionPlan`.
+
+    Accepts ``None`` (no plan), an existing plan, a mapping, or a spec
+    string (``"auto"`` / ``"workers=2,bitset=off"`` / ``"auto,workers=2"``).
+    """
+    if plan is None or isinstance(plan, ExecutionPlan):
+        return plan
+    if isinstance(plan, Mapping):
+        return ExecutionPlan.from_dict(plan)
+    return parse_plan_spec(str(plan))
+
+
+def parse_plan_spec(spec: str) -> ExecutionPlan:
+    """Parse a ``k=v,k=v`` plan spec (the ``--plan`` / ``REPRO_PLAN`` syntax).
+
+    The bare token ``auto`` requests the cost-model planner; it may be
+    combined with explicit pins (``auto,workers=2``).  Byte-budget knobs
+    accept ``k``/``m``/``g`` suffixes (``dense_cache_bytes=64m``).
+
+    >>> parse_plan_spec("workers=2,bitset=off").workers
+    2
+    >>> parse_plan_spec("auto").auto
+    True
+    """
+    values: Dict[str, Any] = {}
+    for token in str(spec).split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" not in token:
+            if token.lower() == "auto":
+                values["auto"] = True
+                continue
+            raise ValueError(
+                f"bad plan spec token {token!r}: expected 'auto' or 'knob=value'"
+            )
+        name, _, raw = token.partition("=")
+        name = name.strip()
+        if name not in KNOBS:
+            raise ValueError(
+                f"unknown plan knob {name!r} in spec {spec!r} "
+                f"(known: {', '.join(sorted(KNOBS))})"
+            )
+        values[name] = raw.strip()
+    return ExecutionPlan.from_dict(values)
+
+
+# -- scoped plans (tier 2) -------------------------------------------------------------
+
+_ACTIVE_PLAN: ContextVar[Optional[ExecutionPlan]] = ContextVar(
+    "repro_active_plan", default=None
+)
+
+
+def active_plan() -> Optional[ExecutionPlan]:
+    """The innermost scoped plan of the *current thread/context*, if any."""
+    return _ACTIVE_PLAN.get()
+
+
+@contextmanager
+def plan_scope(plan: Union[None, str, Mapping[str, Any], ExecutionPlan]):
+    """Pin ``plan`` at the scope tier for the duration of the ``with`` block.
+
+    Scopes nest: the inner plan's set fields shadow the outer plan's, unset
+    fields inherit.  Backed by a :class:`contextvars.ContextVar`, so the
+    scope is visible to the current thread (and tasks it spawns via
+    ``contextvars.copy_context``) but **never** to concurrent threads —
+    unlike the historical env-mutating ``bitset_scope``/``fanout_scope``.
+
+    ``None`` (or an empty plan) is a no-op, preserving the historical
+    scope-manager calling convention.
+    """
+    plan = ensure_plan(plan)
+    if plan is None:
+        yield None
+        return
+    merged = plan.merged_over(_ACTIVE_PLAN.get())
+    token = _ACTIVE_PLAN.set(merged)
+    try:
+        yield merged
+    finally:
+        _ACTIVE_PLAN.reset(token)
+
+
+# -- environment tier ------------------------------------------------------------------
+
+_SPEC_CACHE: Dict[str, ExecutionPlan] = {}
+
+
+def _env_spec_plan() -> Optional[ExecutionPlan]:
+    """The parsed ``REPRO_PLAN`` spec, or ``None`` when unset/empty."""
+    spec = os.environ.get(PLAN_ENV, "").strip()
+    if not spec:
+        return None
+    plan = _SPEC_CACHE.get(spec)
+    if plan is None:
+        plan = parse_plan_spec(spec)
+        if len(_SPEC_CACHE) > 64:  # unbounded env churn safety valve
+            _SPEC_CACHE.clear()
+        _SPEC_CACHE[spec] = plan
+    return plan
+
+
+def _env_value(knob: Knob) -> Optional[Any]:
+    """The environment-tier value of ``knob``, or ``None`` when unset.
+
+    The per-knob variable wins over the knob's entry in ``REPRO_PLAN``;
+    empty-string variables count as unset (matching every historical
+    resolver: ``REPRO_WORKERS=""`` meant "use the default").
+    """
+    raw = os.environ.get(knob.env)
+    if raw is not None and raw.strip() != "":
+        if knob.legacy:
+            _warn_legacy_env(knob)
+        return knob.parse(raw)
+    spec = _env_spec_plan()
+    if spec is not None:
+        return getattr(spec, knob.name)
+    return None
+
+
+def plan_env_requests_auto() -> bool:
+    """Whether ``REPRO_PLAN`` asks for the cost-model planner."""
+    spec = _env_spec_plan()
+    return spec is not None and spec.auto
+
+
+# -- the resolution pipeline (all four tiers) ------------------------------------------
+
+
+def _dynamic_default(name: str, workers: Optional[int]) -> Any:
+    if name == "backend":
+        # Imported lazily — repro.db.database imports this module.
+        from ..db.database import UncertainDatabase
+
+        return UncertainDatabase.default_backend
+    if name == "shards":
+        if workers is None:
+            workers = resolve_knob("workers")
+        return max(1, int(workers))
+    raise AssertionError(f"knob {name!r} has no dynamic default")  # pragma: no cover
+
+
+def resolve_knob(
+    name: str,
+    explicit: Any = None,
+    *,
+    workers: Optional[int] = None,
+    planned: Optional[ExecutionPlan] = None,
+) -> Any:
+    """Resolve one knob through the four-tier pipeline.
+
+    Args:
+        name: A knob name from :data:`KNOBS`.
+        explicit: Tier-1 explicit value (``None`` = unset).
+        workers: The already-resolved worker count, consulted only for the
+            ``shards`` dynamic default.
+        planned: A planner-produced plan consulted at the *default* tier
+            (below the environment — the planner fills gaps, it never
+            overrides a user setting).
+
+    >>> resolve_knob("bitset")
+    True
+    >>> resolve_knob("workers", "auto") >= 1
+    True
+    """
+    knob = KNOBS[name]
+    if explicit is not None:
+        return knob.parse(explicit)
+    scope = _ACTIVE_PLAN.get()
+    if scope is not None:
+        value = getattr(scope, name)
+        if value is not None:
+            return value
+    value = _env_value(knob)
+    if value is not None:
+        return value
+    if planned is not None:
+        value = getattr(planned, name)
+        if value is not None:
+            return value
+    if knob.default is not None:
+        return knob.default
+    return _dynamic_default(name, workers)
+
+
+def resolve_all(
+    explicit: Optional[Mapping[str, Any]] = None,
+    planned: Optional[ExecutionPlan] = None,
+) -> ExecutionPlan:
+    """Resolve every knob, returning a fully-specified plan.
+
+    ``explicit`` supplies tier-1 values per knob; ``planned`` supplies
+    default-tier values (the planner's choices).  The result has every
+    field set and ``auto=False`` — it is the *materialized* configuration
+    of a run, suitable for :func:`plan_scope` pinning, cache keys and
+    reporting.
+    """
+    explicit = explicit or {}
+    values: Dict[str, Any] = {}
+    values["workers"] = resolve_knob("workers", explicit.get("workers"), planned=planned)
+    for name in KNOBS:
+        if name == "workers":
+            continue
+        values[name] = resolve_knob(
+            name, explicit.get(name), workers=values["workers"], planned=planned
+        )
+    return ExecutionPlan(**values)

@@ -98,15 +98,23 @@ def plan_mine(
     min_esup: Optional[float],
     min_sup: Optional[float],
     pft: float,
+    conv_span: Optional[int] = None,
 ) -> MinePlan:
     """Build the cache plan of one ``mine`` request.
 
     The group/axis split mirrors the threshold resolution of
     :mod:`repro.algorithms.base` exactly — same helpers, same floats — so
     the ``keep`` predicate reproduces the miner's own admission comparison
-    bit for bit.
+    bit for bit.  The group carries every bitwise-relevant execution knob
+    (``backend`` and ``conv_span``); the bitwise-neutral ones (bitset,
+    fanout, workers, shards, cache budgets) are deliberately excluded so
+    answers are shared across them.
     """
-    base = (dataset, revision, "mine", algorithm, backend)
+    if conv_span is None:
+        from ..plan.spec import resolve_knob
+
+        conv_span = resolve_knob("conv_span")
+    base = (dataset, revision, "mine", algorithm, backend, int(conv_span))
     if family == "expected":
         absolute = ExpectedSupportThreshold(float(min_esup)).absolute(n_transactions)
         return MinePlan(
@@ -150,8 +158,13 @@ def plan_topk(
     n_transactions: int,
     backend: str,
     min_sup: Optional[float],
+    conv_span: Optional[int] = None,
 ) -> Tuple[Any, ...]:
     """The group key of one ``mine-topk`` request (the axis is ``k``)."""
+    if conv_span is None:
+        from ..plan.spec import resolve_knob
+
+        conv_span = resolve_knob("conv_span")
     min_count: Optional[int] = None
     if ranking == "probability":
         if min_sup is None:
@@ -161,7 +174,7 @@ def plan_topk(
                 "and requires min_sup",
             )
         min_count = ProbabilisticThreshold(float(min_sup)).min_count(n_transactions)
-    return (dataset, revision, "topk", evaluator, backend, min_count)
+    return (dataset, revision, "topk", evaluator, backend, int(conv_span), min_count)
 
 
 class _CachedEntry:

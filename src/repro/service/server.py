@@ -45,7 +45,14 @@ from ..core.miner import mine
 from ..core.parallel import live_pool_count
 from ..core.registry import get_algorithm
 from ..core.topk import mine_topk, ranking_of, resolve_evaluator
-from ..db.database import resolve_backend
+from ..plan import (
+    DatasetFeatures,
+    ExecutionPlan,
+    Planner,
+    ensure_plan,
+    materialize_plan,
+    plan_request_is_auto,
+)
 from .cache import ResultCache, plan_mine, plan_topk
 from .protocol import (
     MAX_LINE_BYTES,
@@ -91,7 +98,7 @@ DEFAULT_TIMEOUT_SECONDS = 30.0
 _POLL_SECONDS = 0.05
 
 #: ops that execute on the worker pool under admission control
-_HEAVY_OPS = frozenset({"mine", "mine-topk", "register"})
+_HEAVY_OPS = frozenset({"mine", "mine-topk", "register", "plan"})
 
 
 def _env_str(name: str, default: str) -> str:
@@ -223,6 +230,8 @@ class MiningServer:
         self.registry = registry if registry is not None else DatasetRegistry()
         self.result_cache = result_cache if result_cache is not None else ResultCache()
         self.use_cache = bool(use_cache)
+        self._planner: Optional[Planner] = None
+        self._planner_lock = threading.Lock()
 
         self._admission = threading.Semaphore(self.max_workers + self.max_queue)
         self._stopping = threading.Event()
@@ -383,6 +392,8 @@ class MiningServer:
             return self._op_mine(params)
         if op == "mine-topk":
             return self._op_mine_topk(params)
+        if op == "plan":
+            return self._op_plan(params)
         if op == "shutdown":
             self._begin_stop()
             return {"stopping": True}
@@ -445,6 +456,58 @@ class MiningServer:
             options["shards"] = int(params["shards"])
         return options
 
+    def _get_planner(self) -> Planner:
+        with self._planner_lock:
+            if self._planner is None:
+                self._planner = Planner.from_trajectory()
+            return self._planner
+
+    def _materialize_request_plan(
+        self, params: Dict[str, Any], database, options: Dict[str, Any]
+    ) -> ExecutionPlan:
+        """Resolve the request's execution plan to concrete knobs, server-side.
+
+        The returned plan is fully specified, so passing it into the miner
+        pins every knob through a thread-local scope — concurrent requests
+        with different plans never observe each other's configuration (no
+        process-global state is touched), and the resolved bitwise-relevant
+        knobs are available up front for the cache key.
+        """
+        request = params.get("plan")
+        try:
+            planner = self._get_planner() if plan_request_is_auto(request) else None
+            return materialize_plan(
+                ensure_plan(request),
+                database,
+                explicit={
+                    "backend": options.get("backend"),
+                    "workers": options.get("workers"),
+                    "shards": options.get("shards"),
+                },
+                planner=planner,
+            )
+        except (TypeError, ValueError, KeyError) as error:
+            raise ServiceError("bad-params", f"invalid plan: {error}") from None
+
+    def _op_plan(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Report the execution plan a mine of ``params.dataset`` would run under."""
+        name = _require_str(params, "dataset")
+        handle, database = self.registry.checkout(name)
+        options = self._mine_options(params)
+        exec_plan = self._materialize_request_plan(params, database, options)
+        planner = self._get_planner()
+        features = DatasetFeatures.from_database(database)
+        reply: Dict[str, Any] = {
+            "dataset": handle.name,
+            "revision": handle.revision,
+            "plan": exec_plan.to_dict(),
+            "features": features.to_dict(),
+            "predicted_seconds": planner.predict_seconds(features, exec_plan),
+        }
+        if plan_request_is_auto(params.get("plan")):
+            reply["rationale"] = dict(planner.plan(features).rationale)
+        return reply
+
     def _op_mine(self, params: Dict[str, Any]) -> Dict[str, Any]:
         name = _require_str(params, "dataset")
         algorithm = str(params.get("algorithm", "uapriori"))
@@ -454,7 +517,7 @@ class MiningServer:
             raise ServiceError("unknown-algorithm", str(error)) from None
         handle, database = self.registry.checkout(name)
         options = self._mine_options(params)
-        backend = resolve_backend(options.get("backend"))
+        exec_plan = self._materialize_request_plan(params, database, options)
         use_cache = self.use_cache and bool(params.get("cache", True))
 
         try:
@@ -466,22 +529,23 @@ class MiningServer:
                 min_esup = None
                 min_sup = float(params.get("min_sup", 0.5))
                 pft = float(params.get("pft", 0.9))
-            plan = plan_mine(
+            cache_plan = plan_mine(
                 handle.name,
                 handle.revision,
                 info.name,
                 info.family,
                 len(database),
-                backend,
+                exec_plan.backend,
                 min_esup,
                 min_sup,
                 pft,
+                conv_span=exec_plan.conv_span,
             )
         except (TypeError, ValueError) as error:
             raise ServiceError("bad-params", f"invalid thresholds: {error}") from None
 
         statistics = None
-        cached = self.result_cache.fetch_mine(plan) if use_cache else None
+        cached = self.result_cache.fetch_mine(cache_plan) if use_cache else None
         if cached is not None:
             records, status = cached
         else:
@@ -489,7 +553,11 @@ class MiningServer:
             try:
                 if info.family == "expected":
                     result = mine(
-                        database, algorithm=info.name, min_esup=min_esup, **options
+                        database,
+                        algorithm=info.name,
+                        min_esup=min_esup,
+                        plan=exec_plan,
+                        **options,
                     )
                 else:
                     result = mine(
@@ -497,6 +565,7 @@ class MiningServer:
                         algorithm=info.name,
                         min_sup=min_sup,
                         pft=pft,
+                        plan=exec_plan,
                         **options,
                     )
             except (TypeError, ValueError) as error:
@@ -504,7 +573,7 @@ class MiningServer:
             records = result.itemsets
             statistics = encode_statistics(result.statistics)
             if use_cache:
-                self.result_cache.store_mine(plan, records)
+                self.result_cache.store_mine(cache_plan, records)
 
         limit = params.get("limit")
         shown = records if limit is None else records[: int(limit)]
@@ -514,6 +583,7 @@ class MiningServer:
             "algorithm": info.name,
             "n": len(records),
             "cache": status,
+            "plan": exec_plan.to_dict(),
             "itemsets": encode_records(shown),
             "truncated": len(shown) < len(records),
             "statistics": statistics,
@@ -535,7 +605,7 @@ class MiningServer:
             raise ServiceError("bad-params", f"k must be >= 1, got {k}")
         handle, database = self.registry.checkout(name)
         options = self._mine_options(params)
-        backend = resolve_backend(options.get("backend"))
+        exec_plan = self._materialize_request_plan(params, database, options)
         use_cache = self.use_cache and bool(params.get("cache", True))
 
         min_sup: Optional[float] = None
@@ -547,8 +617,9 @@ class MiningServer:
             evaluator,
             ranking,
             len(database),
-            backend,
+            exec_plan.backend,
             min_sup,
+            conv_span=exec_plan.conv_span,
         )
 
         statistics = None
@@ -559,7 +630,12 @@ class MiningServer:
             status = "miss" if use_cache else "off"
             try:
                 result = mine_topk(
-                    database, k, algorithm=evaluator, min_sup=min_sup, **options
+                    database,
+                    k,
+                    algorithm=evaluator,
+                    min_sup=min_sup,
+                    plan=exec_plan,
+                    **options,
                 )
             except (TypeError, ValueError) as error:
                 raise ServiceError("bad-params", str(error)) from None
@@ -576,6 +652,7 @@ class MiningServer:
             "k": k,
             "n": len(records),
             "cache": status,
+            "plan": exec_plan.to_dict(),
             "itemsets": encode_records(records),
             "statistics": statistics,
         }

@@ -62,15 +62,11 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.support import resolve_conv_span
+
 __all__ = ["IncrementalSupportIndex"]
 
 Candidate = Tuple[int, ...]
-
-#: operand length above which level convolutions switch to the FFT — the
-#: same cutoff as :func:`repro.core.support.convolve_pmfs`, so small trees
-#: (and the bitwise-equivalence tests that use them) stay on exact direct
-#: convolution
-_FFT_CUTOFF = 64
 
 
 class IncrementalSupportIndex:
@@ -86,10 +82,15 @@ class IncrementalSupportIndex:
         through :meth:`ensure_pmfs`; turning it on is convenient for direct
         index users and the equivalence tests.
     use_fft:
-        FFT-accelerate PMF merges of segments longer than 64 rows.  FFT
+        FFT-accelerate PMF merges of segments longer than the ``conv_span``
+        plan knob (default 512 — the measured direct-vs-FFT crossover,
+        shared with :func:`repro.core.support.convolve_pmfs`).  FFT
         round-off is below 1e-12 but not zero; disable for bitwise
         agreement with direct convolution on large windows (the DC miner's
         ablation, at quadratic cost).
+    conv_span:
+        Explicit crossover override; ``None`` resolves the ``conv_span``
+        knob through the plan pipeline at construction time.
 
     The index stores the current slot contents itself (one ``{item:
     probability}`` mapping per slot), so candidates registered mid-stream
@@ -104,6 +105,7 @@ class IncrementalSupportIndex:
         use_fft: bool = True,
         track_variance: bool = True,
         track_nonzero: bool = True,
+        conv_span: Optional[int] = None,
     ) -> None:
         capacity = int(capacity)
         if capacity < 1:
@@ -111,6 +113,10 @@ class IncrementalSupportIndex:
         self.capacity = capacity
         self.with_pmfs = with_pmfs
         self.use_fft = use_fft
+        # Resolved once at construction: the tree layout (dense-vs-spectral
+        # level split below) is fixed for the index's lifetime, so a scoped
+        # plan at construction time decides it, matching the batch kernels.
+        self.conv_span = resolve_conv_span(conv_span)
         # Expected support is always maintained; the variance and non-zero
         # trees are opt-out so consumers that never ask (the streaming
         # expected-support miner) skip two thirds of the merge work.
@@ -160,7 +166,7 @@ class IncrementalSupportIndex:
         self._pmf_allocated = 0
         #: highest level stored as dense PMFs (everything when FFT is off)
         self._dense_height = (
-            min(self._height, _FFT_CUTOFF.bit_length() - 1)
+            min(self._height, max(1, self.conv_span).bit_length() - 1)
             if use_fft
             else self._height
         )

@@ -44,6 +44,7 @@ from ..core.topk import (
     resolve_evaluator,
     run_topk_search,
 )
+from ..plan import ensure_plan, materialize_plan, plan_scope
 from .index import IncrementalSupportIndex
 from .window import SlidingWindow, TransactionStream
 
@@ -71,6 +72,12 @@ class StreamingMiner:
         back-filled from its resident transactions either way.
     use_fft:
         Forwarded to the support index's PMF merges (exact miners only).
+    plan:
+        An :class:`~repro.plan.ExecutionPlan` (or plan-spec string /
+        mapping) pinned around index construction and every slide, so the
+        streaming kernels resolve the same knobs as a batch mine under the
+        same plan.  ``plan="auto"`` materializes from the adopted window's
+        contents when it is non-empty, otherwise from static defaults.
     """
 
     #: registry name prefix of the emitted statistics
@@ -83,18 +90,26 @@ class StreamingMiner:
     #: slide; a small grace period turns that churn into cheap idle updates.
     retain_slack = 4
 
-    def __init__(self, window, use_fft: bool = True) -> None:
+    def __init__(self, window, use_fft: bool = True, plan=None) -> None:
         self.window = (
             window if isinstance(window, SlidingWindow) else SlidingWindow(int(window))
         )
-        # PMF maintenance is opted into per candidate (StreamingDP ensures
-        # PMFs only for candidates surviving its cheap filters).
-        self.index = IncrementalSupportIndex(
-            self.window.capacity,
-            with_pmfs=False,
-            use_fft=use_fft,
-            **self.index_options,
+        #: the materialized execution plan every slide runs under
+        self.plan = materialize_plan(
+            ensure_plan(plan),
+            self.window.contents() if len(self.window) else None,
         )
+        # PMF maintenance is opted into per candidate (StreamingDP ensures
+        # PMFs only for candidates surviving its cheap filters).  The index
+        # is built under the plan so its conv_span-dependent tree layout
+        # matches the batch kernels under the same plan.
+        with plan_scope(self.plan):
+            self.index = IncrementalSupportIndex(
+                self.window.capacity,
+                with_pmfs=False,
+                use_fft=use_fft,
+                **self.index_options,
+            )
         if len(self.window):
             self.index.apply(
                 [
@@ -126,9 +141,10 @@ class StreamingMiner:
         changes = self.window.slide(stream, step)
         if not changes:
             return None
-        self.index.apply_window_changes(changes)
-        self.slides += 1
-        result = self.mine_window()
+        with plan_scope(self.plan):
+            self.index.apply_window_changes(changes)
+            self.slides += 1
+            result = self.mine_window()
         result.statistics.notes["mine_seconds"] = result.statistics.elapsed_seconds
         result.statistics.elapsed_seconds = time.perf_counter() - started
         return result
@@ -238,6 +254,7 @@ class StreamingUApriori(StreamingMiner):
         min_esup: float,
         track_variance: bool = False,
         use_fft: bool = True,
+        plan=None,
     ) -> None:
         # Definition 2 needs only the expected-support tree; skipping the
         # variance/non-zero merges drops two thirds of the per-slide work.
@@ -245,7 +262,7 @@ class StreamingUApriori(StreamingMiner):
             "track_variance": bool(track_variance),
             "track_nonzero": False,
         }
-        super().__init__(window, use_fft=use_fft)
+        super().__init__(window, use_fft=use_fft, plan=plan)
         self.threshold = ExpectedSupportThreshold(float(min_esup))
         self.track_variance = track_variance
 
@@ -318,8 +335,9 @@ class StreamingDP(StreamingMiner):
         use_pruning: bool = True,
         item_prefilter: bool = True,
         use_fft: bool = True,
+        plan=None,
     ) -> None:
-        super().__init__(window, use_fft=use_fft)
+        super().__init__(window, use_fft=use_fft, plan=plan)
         self.threshold = ProbabilisticThreshold(float(min_sup), float(pft))
         self.use_pruning = use_pruning
         self.item_prefilter = item_prefilter
@@ -435,6 +453,7 @@ class StreamingTopK(StreamingMiner):
         use_pruning: bool = True,
         track_variance: bool = False,
         use_fft: bool = True,
+        plan=None,
     ) -> None:
         self.evaluator = resolve_evaluator(evaluator)
         if self.evaluator not in ("esup", "dp"):
@@ -461,7 +480,7 @@ class StreamingTopK(StreamingMiner):
             "track_variance": bool(track_variance) or probabilistic,
             "track_nonzero": probabilistic,
         }
-        super().__init__(window, use_fft=use_fft)
+        super().__init__(window, use_fft=use_fft, plan=plan)
         self._last_ranked: List[FrequentItemset] = []
         self._last_min_count: Optional[int] = None
         self._last_statistics: Optional[MiningStatistics] = None

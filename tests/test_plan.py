@@ -1,0 +1,412 @@
+"""The unified ExecutionPlan: precedence, serialization, scoping, aliases.
+
+Pins the contracts of :mod:`repro.plan`:
+
+* the four-tier resolution pipeline resolves **every** knob as
+  ``explicit > scoped plan > environment > planner default`` (the full
+  parametrized matrix, one case per knob per adjacent tier pair),
+* ``to_dict``/``from_dict`` round-trip and unknown keys are rejected,
+* ``plan_scope`` is contextvar-backed: concurrent threads never observe
+  each other's plans, and no tier writes to ``os.environ``,
+* the pre-plan per-knob environment variables keep working as deprecated
+  aliases, each warning exactly once per process,
+* ``materialize_plan`` is deterministic and auto-planned mines are
+  bitwise identical to the same resolved plan passed explicitly,
+* two concurrent *service* requests with different bitset/fanout plans
+  never observe each other's configuration (the scope-vs-thread bleed
+  regression the plan pipeline exists to fix).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.core.miner import mine
+from repro.plan import (
+    KNOBS,
+    PLAN_ENV,
+    ExecutionPlan,
+    active_plan,
+    ensure_plan,
+    materialize_plan,
+    parse_plan_spec,
+    plan_request_is_auto,
+    plan_scope,
+    reset_deprecation_warnings,
+    resolve_knob,
+)
+from repro.service import (
+    MiningClient,
+    MiningServer,
+    decode_records,
+    record_keys,
+)
+
+from helpers import make_random_database
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan_env(monkeypatch):
+    """Isolate every test from ambient knob variables and warning state."""
+    for knob in KNOBS.values():
+        monkeypatch.delenv(knob.env, raising=False)
+    monkeypatch.delenv(PLAN_ENV, raising=False)
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+# -- the precedence matrix -------------------------------------------------------------
+# Per knob: one (value, parsed) pair per tier, adjacent tiers always
+# yielding *different* parsed values so each assertion below can only pass
+# if the intended tier actually won.  Environment values are the raw
+# strings a shell would set.
+
+MATRIX = {
+    "backend": (("rows", "rows"), ("columnar", "columnar"),
+                ("rows", "rows"), ("columnar", "columnar")),
+    "bitset": ((False, False), ("on", True), ("off", False), (True, True)),
+    "fanout": (("shm", "shm"), ("pickle", "pickle"),
+               ("shm", "shm"), ("pickle", "pickle")),
+    "workers": ((5, 5), (4, 4), ("3", 3), (2, 2)),
+    "shards": ((6, 6), (5, 5), ("4", 4), (3, 3)),
+    "dense_crossover": ((0.9, 0.9), (0.8, 0.8), ("0.7", 0.7), (0.6, 0.6)),
+    "conv_span": ((96, 96), (128, 128), ("192", 192), (256, 256)),
+    "dp_block_bytes": ((1 << 20, 1 << 20), (2 << 20, 2 << 20),
+                       ("3m", 3 << 20), (4 << 20, 4 << 20)),
+    "dense_cache_bytes": ((1 << 20, 1 << 20), (2 << 20, 2 << 20),
+                          ("3m", 3 << 20), (4 << 20, 4 << 20)),
+    "bitmap_cache_bytes": ((1 << 20, 1 << 20), (2 << 20, 2 << 20),
+                           ("3m", 3 << 20), (4 << 20, 4 << 20)),
+    "prefix_cache_bytes": ((1 << 20, 1 << 20), (2 << 20, 2 << 20),
+                           ("3m", 3 << 20), (4 << 20, 4 << 20)),
+    "mapped_cache_bytes": ((1 << 20, 1 << 20), (2 << 20, 2 << 20),
+                           ("3m", 3 << 20), (4 << 20, 4 << 20)),
+}
+
+
+class TestPrecedenceMatrix:
+    @pytest.mark.parametrize("name", sorted(KNOBS))
+    def test_explicit_beats_scope_beats_env_beats_planned(self, name, monkeypatch):
+        assert name in MATRIX, f"knob {name!r} missing from the precedence matrix"
+        explicit, scope, env, planned = MATRIX[name]
+        planned_plan = ExecutionPlan(**{name: planned[0]})
+        monkeypatch.setenv(KNOBS[name].env, env[0])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with plan_scope(ExecutionPlan(**{name: scope[0]})):
+                got = resolve_knob(name, explicit[0], planned=planned_plan)
+                assert got == explicit[1]
+                assert resolve_knob(name, planned=planned_plan) == scope[1]
+            assert resolve_knob(name, planned=planned_plan) == env[1]
+            monkeypatch.delenv(KNOBS[name].env)
+            assert resolve_knob(name, planned=planned_plan) == planned[1]
+
+    @pytest.mark.parametrize(
+        "name", [name for name, knob in KNOBS.items() if knob.default is not None]
+    )
+    def test_static_default_tier(self, name):
+        assert resolve_knob(name) == KNOBS[name].default
+
+    def test_dynamic_defaults(self):
+        from repro.db.database import UncertainDatabase
+
+        assert resolve_knob("backend") == UncertainDatabase.default_backend
+        # shards follow the resolved worker count
+        with plan_scope(ExecutionPlan(workers=3)):
+            assert resolve_knob("shards") == 3
+        assert resolve_knob("shards", workers=5) == 5
+
+    def test_composite_plan_env_and_per_knob_override(self, monkeypatch):
+        monkeypatch.setenv(PLAN_ENV, "workers=4,bitset=off")
+        assert resolve_knob("workers") == 4
+        assert resolve_knob("bitset") is False
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            # The per-knob variable wins over the REPRO_PLAN entry...
+            monkeypatch.setenv("REPRO_WORKERS", "2")
+            assert resolve_knob("workers") == 2
+            # ...and an *empty* per-knob variable counts as unset.
+            monkeypatch.setenv("REPRO_WORKERS", "")
+            assert resolve_knob("workers") == 4
+
+    def test_resolution_never_mutates_environ(self, monkeypatch):
+        monkeypatch.setenv(PLAN_ENV, "workers=4")
+        before = dict(os.environ)
+        with plan_scope(ExecutionPlan(bitset=False, fanout="pickle")):
+            for name in KNOBS:
+                resolve_knob(name)
+        materialize_plan("workers=2,bitset=off")
+        assert dict(os.environ) == before
+
+
+# -- plan object: parsing, round-trips, algebra ----------------------------------------
+
+
+class TestExecutionPlan:
+    def test_construction_normalizes_values(self):
+        plan = ExecutionPlan(bitset="off", workers="auto", dense_cache_bytes="2m")
+        assert plan.bitset is False
+        assert plan.workers >= 1
+        assert plan.dense_cache_bytes == 2 << 20
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backend": "bogus"},
+            {"bitset": "maybe"},
+            {"fanout": "carrier-pigeon"},
+            {"workers": -1},
+            {"shards": 0},
+            {"dense_crossover": 1.5},
+            {"conv_span": -1},
+            {"dp_block_bytes": 0},
+        ],
+    )
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionPlan(**kwargs)
+
+    def test_round_trip_through_dict(self):
+        plan = ExecutionPlan(
+            backend="rows", bitset=False, fanout="pickle", workers=2, shards=4,
+            dense_crossover=0.5, conv_span=128, dp_block_bytes=1 << 20,
+            dense_cache_bytes=1 << 20, bitmap_cache_bytes=1 << 20,
+            prefix_cache_bytes=1 << 20, mapped_cache_bytes=1 << 20, auto=True,
+        )
+        assert ExecutionPlan.from_dict(plan.to_dict()) == plan
+        partial = ExecutionPlan(workers=2)
+        assert ExecutionPlan.from_dict(partial.to_dict()) == partial
+        assert partial.to_dict() == {"workers": 2}
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown plan knob"):
+            ExecutionPlan.from_dict({"workers": 2, "wrokers": 3})
+
+    def test_merged_over_layers_set_fields(self):
+        base = ExecutionPlan(workers=2, bitset=True)
+        over = ExecutionPlan(bitset=False)
+        merged = over.merged_over(base)
+        assert merged.workers == 2 and merged.bitset is False
+        assert ExecutionPlan().is_empty()
+        assert not base.is_empty()
+
+    @pytest.mark.parametrize(
+        ("spec", "expected"),
+        [
+            ("auto", {"auto": True}),
+            ("workers=2,bitset=off", {"workers": 2, "bitset": False}),
+            ("auto,workers=2", {"auto": True, "workers": 2}),
+            ("dense_cache_bytes=64m", {"dense_cache_bytes": 64 << 20}),
+            (" workers = 2 , ", {"workers": 2}),
+        ],
+    )
+    def test_parse_plan_spec(self, spec, expected):
+        assert parse_plan_spec(spec).to_dict() == expected
+
+    @pytest.mark.parametrize("spec", ["frobnicate", "turbo=on", "workers=-1"])
+    def test_parse_plan_spec_rejects(self, spec):
+        with pytest.raises(ValueError):
+            parse_plan_spec(spec)
+
+    def test_ensure_plan_spellings(self):
+        assert ensure_plan(None) is None
+        plan = ExecutionPlan(workers=2)
+        assert ensure_plan(plan) is plan
+        assert ensure_plan({"workers": 2}) == plan
+        assert ensure_plan("workers=2") == plan
+
+
+# -- scoping: nesting and thread isolation ---------------------------------------------
+
+
+class TestPlanScope:
+    def test_scopes_nest_and_inner_shadows(self):
+        with plan_scope(ExecutionPlan(workers=2, bitset=True)):
+            with plan_scope(ExecutionPlan(bitset=False)):
+                assert resolve_knob("workers") == 2  # inherited from outer
+                assert resolve_knob("bitset") is False  # shadowed by inner
+            assert resolve_knob("bitset") is True
+        assert active_plan() is None
+
+    def test_none_scope_is_noop(self):
+        with plan_scope(None):
+            assert active_plan() is None
+
+    def test_threads_never_observe_each_others_scope(self):
+        barrier = threading.Barrier(2)
+        observed = {}
+
+        def worker(label: str, workers: int, pause: float) -> None:
+            with plan_scope(ExecutionPlan(workers=workers)):
+                barrier.wait(timeout=10.0)
+                time.sleep(pause)  # interleave: both scopes live at once
+                observed[label] = resolve_knob("workers")
+
+        threads = [
+            threading.Thread(target=worker, args=("a", 3, 0.01)),
+            threading.Thread(target=worker, args=("b", 7, 0.03)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert observed == {"a": 3, "b": 7}
+        assert active_plan() is None  # the main thread saw neither
+
+
+# -- legacy environment aliases --------------------------------------------------------
+
+LEGACY_SAMPLES = {
+    "backend": ("rows", "rows"),
+    "bitset": ("off", False),
+    "fanout": ("pickle", "pickle"),
+    "workers": ("3", 3),
+    "shards": ("2", 2),
+    "dp_block_bytes": ("1048576", 1 << 20),
+    "dense_cache_bytes": ("2m", 2 << 20),
+    "bitmap_cache_bytes": ("2m", 2 << 20),
+    "prefix_cache_bytes": ("2m", 2 << 20),
+    "mapped_cache_bytes": ("2m", 2 << 20),
+}
+
+
+class TestLegacyEnvAliases:
+    @pytest.mark.parametrize(
+        "name", [name for name, knob in KNOBS.items() if knob.legacy]
+    )
+    def test_alias_still_works_and_warns_exactly_once(self, name, monkeypatch):
+        knob = KNOBS[name]
+        raw, expected = LEGACY_SAMPLES[name]
+        monkeypatch.setenv(knob.env, raw)
+        with pytest.warns(DeprecationWarning, match=knob.env):
+            assert resolve_knob(name) == expected
+        # The second read must be silent: one warning per variable per process.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert resolve_knob(name) == expected
+
+    def test_modern_variables_do_not_warn(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CONV_SPAN", "128")
+        monkeypatch.setenv("REPRO_DENSE_CROSSOVER", "0.5")
+        monkeypatch.setenv(PLAN_ENV, "workers=2")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert resolve_knob("conv_span") == 128
+            assert resolve_knob("dense_crossover") == 0.5
+            assert resolve_knob("workers") == 2
+
+
+# -- materialization and the auto planner ----------------------------------------------
+
+
+class TestMaterialize:
+    def test_materialized_plan_is_fully_specified(self):
+        database = make_random_database(seed=11)
+        plan = materialize_plan("auto", database)
+        assert not plan.auto
+        assert all(getattr(plan, name) is not None for name in KNOBS)
+
+    def test_materialization_is_deterministic(self):
+        database = make_random_database(seed=11)
+        assert materialize_plan("auto", database) == materialize_plan("auto", database)
+
+    def test_explicit_and_env_beat_the_planner(self, monkeypatch):
+        database = make_random_database(seed=11)
+        monkeypatch.setenv("REPRO_CONV_SPAN", "99")
+        plan = materialize_plan(
+            "auto,bitset=off", database, explicit={"workers": 6}
+        )
+        assert plan.workers == 6  # tier 1
+        assert plan.bitset is False  # tier 2 (the request's pinned knob)
+        assert plan.conv_span == 99  # tier 3
+        assert plan.backend == "columnar"  # tier 4 (the planner's choice)
+
+    def test_plan_env_auto_request(self, monkeypatch):
+        assert not plan_request_is_auto(None)
+        monkeypatch.setenv(PLAN_ENV, "auto")
+        assert plan_request_is_auto(None)
+        assert plan_request_is_auto("auto")
+        assert not plan_request_is_auto("workers=2")
+
+    def test_auto_mine_bitwise_equals_explicit_plan(self):
+        database = make_random_database(
+            n_transactions=60, n_items=10, density=0.5, seed=3
+        )
+        resolved = materialize_plan("auto", database)
+        auto = mine(database, algorithm="dcb", min_sup=0.2, pft=0.9, plan="auto")
+        explicit = mine(
+            database, algorithm="dcb", min_sup=0.2, pft=0.9, plan=resolved.to_dict()
+        )
+        assert record_keys(auto.itemsets) == record_keys(explicit.itemsets)
+
+
+# -- the service: no scope-vs-thread bleed ---------------------------------------------
+
+
+def _inline_spec(database) -> dict:
+    return {
+        "kind": "inline",
+        "records": [
+            [[item, probability] for item, probability in sorted(t.units.items())]
+            for t in database.transactions
+        ],
+    }
+
+
+class TestServicePlanIsolation:
+    def test_concurrent_requests_with_different_plans_never_bleed(self):
+        database = make_random_database(
+            n_transactions=40, n_items=6, density=0.5, seed=31
+        )
+        expected = record_keys(
+            mine(database, algorithm="uapriori", min_esup=0.2).itemsets
+        )
+        plans = [
+            {"bitset": True, "fanout": "shm"},
+            {"bitset": False, "fanout": "pickle"},
+        ]
+        env_before = dict(os.environ)
+        barrier = threading.Barrier(len(plans))
+        failures = []
+        with MiningServer(max_workers=4, max_queue=32) as server:
+            server.registry.register("shared", _inline_spec(database))
+            host, port = server.address
+
+            def drive(plan: dict) -> None:
+                try:
+                    with MiningClient(host, port) as client:
+                        for _ in range(6):
+                            barrier.wait(timeout=30.0)  # force overlap each round
+                            reply = client.mine(
+                                "shared", algorithm="uapriori", min_esup=0.2,
+                                plan=dict(plan), cache=False,
+                            )
+                            for name, value in plan.items():
+                                if reply["plan"][name] != value:
+                                    failures.append(
+                                        (name, value, reply["plan"][name])
+                                    )
+                            got = record_keys(decode_records(reply["itemsets"]))
+                            if got != expected:
+                                failures.append(("result-bleed", plan))
+                except Exception as error:  # noqa: BLE001 - collected below
+                    barrier.abort()
+                    failures.append(("exception", repr(error)))
+
+            threads = [
+                threading.Thread(target=drive, args=(plan,)) for plan in plans
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+            assert not any(thread.is_alive() for thread in threads)
+        assert failures == []
+        # Per-request plans are pure resolution: the process env is untouched.
+        assert dict(os.environ) == env_before

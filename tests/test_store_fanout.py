@@ -53,16 +53,19 @@ class TestFanoutResolution:
         with pytest.raises(ValueError, match="fanout"):
             resolve_fanout("zeromq")
 
-    def test_scope_pins_and_restores_env(self, monkeypatch):
+    def test_scope_pins_without_touching_env(self, monkeypatch):
         monkeypatch.delenv(FANOUT_ENV, raising=False)
         with fanout_scope("pickle"):
-            assert os.environ[FANOUT_ENV] == "pickle"
+            # Scopes are contextvar-backed plan scopes now: they never
+            # mutate the process environment (which raced under the
+            # threaded mining service).
+            assert FANOUT_ENV not in os.environ
             assert resolve_fanout() == "pickle"
-        assert FANOUT_ENV not in os.environ
+        assert resolve_fanout() == "auto"
         monkeypatch.setenv(FANOUT_ENV, "shm")
         with fanout_scope("pickle"):
-            assert resolve_fanout() == "pickle"
-        assert os.environ[FANOUT_ENV] == "shm"
+            assert resolve_fanout() == "pickle"  # scope beats env
+        assert resolve_fanout() == "shm"
 
     def test_scope_none_is_noop(self, monkeypatch):
         monkeypatch.delenv(FANOUT_ENV, raising=False)

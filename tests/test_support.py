@@ -265,8 +265,8 @@ class TestDivideConquerRenormalization:
 
         original = support_module.convolve_pmfs
 
-        def drifting(left, right, use_fft=True):
-            return original(left, right, use_fft) * 1.001
+        def drifting(left, right, use_fft=True, span=None):
+            return original(left, right, use_fft, span=span) * 1.001
 
         monkeypatch.setattr(support_module, "convolve_pmfs", drifting)
         pmf = support_module.exact_pmf_divide_conquer(np.full(8, 0.5))
