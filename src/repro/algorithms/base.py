@@ -9,6 +9,13 @@ itemset definitions:
 (the approximate probabilistic algorithms implement the second interface;
 they differ from the exact ones only in how they evaluate the frequent
 probability).
+
+A concrete miner no longer implements a search: it implements
+:meth:`MinerBase.spec`, returning the frozen declarative
+:class:`~repro.core.search.MinerSpec` that :class:`LevelwiseSearch`
+executes — the score kernel binding, decision rule, bound chain, seed mode
+and hooks.  ``mine`` builds the threshold, asks for the spec, and hands
+both to the engine under the run's pinned :class:`ExecutionPlan`.
 """
 
 from __future__ import annotations
@@ -19,7 +26,12 @@ from typing import Any, Mapping, Optional, Union
 
 from ..core.parallel import ParallelExecutor, resolve_shards, resolve_workers
 from ..core.results import MiningResult, MiningStatistics
-from ..core.thresholds import ExpectedSupportThreshold, ProbabilisticThreshold
+from ..core.search import LevelwiseSearch, MinerSpec
+from ..core.thresholds import (
+    ExpectedSupportThreshold,
+    ProbabilisticThreshold,
+    QueryThresholds,
+)
 from ..db.database import UncertainDatabase, resolve_backend
 from ..plan import ExecutionPlan, ensure_plan, materialize_plan, plan_scope
 
@@ -91,20 +103,29 @@ class MinerBase(ABC):
         self.plan: Optional[ExecutionPlan] = None
 
     @contextmanager
-    def _planned(self, database: UncertainDatabase):
+    def _planned(
+        self,
+        database: UncertainDatabase,
+        thresholds: Optional[QueryThresholds] = None,
+    ):
         """Materialize and pin this run's :class:`ExecutionPlan`.
 
         Every knob is resolved once, up front, through the four-tier
         pipeline (explicit constructor arguments > the constructor's plan >
         environment > planner default, with ``plan="auto"`` consulting the
-        cost model over ``database``'s statistics) — then the complete plan
-        is pinned with :func:`~repro.plan.plan_scope` for the duration of
-        the mine, so every downstream consumer (SupportEngine, the columnar
-        kernels, the parallel executor) sees one immutable configuration,
-        immune to concurrent environment changes or other threads' scopes.
+        cost model over ``database``'s statistics and — when given — the
+        query ``thresholds``, whose selectivity shapes the planner's
+        search-depth estimate) — then the complete plan is pinned with
+        :func:`~repro.plan.plan_scope` for the duration of the mine, so
+        every downstream consumer (SupportEngine, the columnar kernels, the
+        parallel executor) sees one immutable configuration, immune to
+        concurrent environment changes or other threads' scopes.
         """
         plan = materialize_plan(
-            self.plan_request, database, explicit=self._explicit_knobs
+            self.plan_request,
+            database,
+            explicit=self._explicit_knobs,
+            thresholds=thresholds,
         )
         self.plan = plan
         self.backend = plan.backend
@@ -137,6 +158,16 @@ class MinerBase(ABC):
             shard_views = database.partition(self.shards).shards
         return ParallelExecutor(self.workers, shard_views=shard_views)
 
+    def _run_search(self, database: UncertainDatabase, threshold: Any) -> MiningResult:
+        """Build this miner's spec and execute it under the pinned plan."""
+        with self._planned(database, thresholds=threshold.query()):
+            spec = self.spec(threshold)
+            return LevelwiseSearch(spec, miner=self).run(database)
+
+    @abstractmethod
+    def spec(self, threshold: Any) -> MinerSpec:
+        """The declarative search specification for one query threshold."""
+
 
 class ExpectedSupportMiner(MinerBase):
     """A miner that finds expected-support-based frequent itemsets (Definition 2)."""
@@ -147,13 +178,7 @@ class ExpectedSupportMiner(MinerBase):
         ``min_esup`` may be a ratio of the database size (``0 < x <= 1``) or
         an absolute expected support (``x > 1``).
         """
-        threshold = ExpectedSupportThreshold(min_esup)
-        with self._planned(database):
-            return self._mine(database, threshold.absolute(len(database)))
-
-    @abstractmethod
-    def _mine(self, database: UncertainDatabase, min_expected_support: float) -> MiningResult:
-        """Algorithm-specific mining with an absolute expected-support threshold."""
+        return self._run_search(database, ExpectedSupportThreshold(min_esup))
 
 
 class ProbabilisticMiner(MinerBase):
@@ -167,10 +192,4 @@ class ProbabilisticMiner(MinerBase):
         ``min_sup`` may be a ratio or an absolute count; ``pft`` is the
         probabilistic frequentness threshold.
         """
-        threshold = ProbabilisticThreshold(min_sup, pft)
-        with self._planned(database):
-            return self._mine(database, threshold.min_count(len(database)), pft)
-
-    @abstractmethod
-    def _mine(self, database: UncertainDatabase, min_count: int, pft: float) -> MiningResult:
-        """Algorithm-specific mining with an absolute minimum support count."""
+        return self._run_search(database, ProbabilisticThreshold(min_sup, pft))

@@ -17,16 +17,14 @@ the small databases used by the test-suite.
 
 from __future__ import annotations
 
-from itertools import combinations
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..core.itemset import Itemset
-from ..core.results import FrequentItemset, MiningResult
+from ..core.search import LevelKernel, MinerSpec, SearchContext
 from ..core.support import SupportDistribution
 from ..db.database import UncertainDatabase
 from ..db.sampling import sample_worlds
 from .base import ExpectedSupportMiner, ProbabilisticMiner
-from .common import frequent_items_by_expected_support, instrumented_run, item_statistics
 
 __all__ = [
     "ExhaustiveExpectedSupportMiner",
@@ -60,28 +58,19 @@ class ExhaustiveExpectedSupportMiner(ExpectedSupportMiner):
         )
         self.max_size = max_size
 
-    def _mine(self, database: UncertainDatabase, min_expected_support: float) -> MiningResult:
-        statistics = self._new_statistics()
-        with instrumented_run(statistics, self.track_memory):
-            frequent_items = sorted(
-                frequent_items_by_expected_support(
-                    database, min_expected_support, backend=self.backend
-                )
-            )
-            records: List[FrequentItemset] = []
-            for size in range(1, min(self.max_size, len(frequent_items)) + 1):
-                for candidate in combinations(frequent_items, size):
-                    statistics.candidates_generated += 1
-                    expected = database.expected_support(candidate, backend=self.backend)
-                    if expected >= min_expected_support:
-                        records.append(
-                            FrequentItemset(
-                                Itemset(candidate),
-                                expected,
-                                database.support_variance(candidate, backend=self.backend),
-                            )
-                        )
-        return MiningResult(records, statistics)
+    def spec(self, threshold) -> MinerSpec:
+        return MinerSpec(
+            name=self.name,
+            definition="expected",
+            threshold=threshold,
+            kernel=_DirectExpectedKernel(),
+            seed_mode="none",
+            level_generator="exhaustive",
+            max_size=self.max_size,
+            # The references deliberately stay single-process and
+            # per-candidate.
+            uses_executor=False,
+        )
 
 
 class ExhaustiveProbabilisticMiner(ProbabilisticMiner):
@@ -107,29 +96,60 @@ class ExhaustiveProbabilisticMiner(ProbabilisticMiner):
         )
         self.max_size = max_size
 
-    def _mine(self, database: UncertainDatabase, min_count: int, pft: float) -> MiningResult:
-        statistics = self._new_statistics()
-        with instrumented_run(statistics, self.track_memory):
-            items = sorted(item_statistics(database, backend=self.backend))
-            records: List[FrequentItemset] = []
-            for size in range(1, min(self.max_size, len(items)) + 1):
-                for candidate in combinations(items, size):
-                    statistics.candidates_generated += 1
-                    distribution = SupportDistribution(
-                        database.itemset_probabilities(candidate, backend=self.backend)
-                    )
-                    probability = distribution.frequent_probability(min_count)
-                    statistics.exact_evaluations += 1
-                    if probability > pft:
-                        records.append(
-                            FrequentItemset(
-                                Itemset(candidate),
-                                distribution.expected_support,
-                                distribution.variance,
-                                probability,
-                            )
-                        )
-        return MiningResult(records, statistics)
+    def spec(self, threshold) -> MinerSpec:
+        return MinerSpec(
+            name=self.name,
+            definition="probabilistic",
+            threshold=threshold,
+            kernel=_DirectProbabilisticKernel(),
+            seed_mode="none",
+            level_generator="exhaustive",
+            max_size=self.max_size,
+            uses_executor=False,
+        )
+
+
+class _DirectExpectedKernel(LevelKernel):
+    """Per-candidate expected support straight off the database."""
+
+    def evaluate(
+        self, ctx: SearchContext, candidates: List[Tuple[int, ...]]
+    ) -> List[Tuple[int, ...]]:
+        survivors: List[Tuple[int, ...]] = []
+        for candidate in candidates:
+            expected = ctx.database.expected_support(candidate, backend=ctx.backend)
+            if expected >= ctx.search_min_esup:
+                ctx.record(
+                    candidate,
+                    expected,
+                    ctx.database.support_variance(candidate, backend=ctx.backend),
+                )
+                survivors.append(candidate)
+        return survivors
+
+
+class _DirectProbabilisticKernel(LevelKernel):
+    """Exact frequent probability from the full support PMF, per candidate."""
+
+    def evaluate(
+        self, ctx: SearchContext, candidates: List[Tuple[int, ...]]
+    ) -> List[Tuple[int, ...]]:
+        survivors: List[Tuple[int, ...]] = []
+        for candidate in candidates:
+            distribution = SupportDistribution(
+                ctx.database.itemset_probabilities(candidate, backend=ctx.backend)
+            )
+            probability = distribution.frequent_probability(ctx.min_count)
+            ctx.statistics.exact_evaluations += 1
+            if probability > ctx.pft:
+                ctx.record(
+                    candidate,
+                    distribution.expected_support,
+                    distribution.variance,
+                    probability,
+                )
+                survivors.append(candidate)
+        return survivors
 
 
 def possible_world_expected_support(

@@ -104,15 +104,25 @@ def frequent_items_by_expected_support(
     }
 
 
-def apriori_join(frequent_itemsets: Sequence[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
+def apriori_join(
+    frequent_itemsets: Sequence[Tuple[int, ...]], presorted: bool = False
+) -> List[Tuple[int, ...]]:
     """Join frequent k-itemsets sharing a (k-1)-prefix into (k+1)-candidates.
 
     Input and output itemsets are canonical sorted tuples.  The classic
     Apriori join: two k-itemsets that agree on their first ``k - 1`` items
     produce one candidate; the subsequent subset check
     (:func:`has_infrequent_subset`) completes the pruning.
+
+    ``presorted`` skips the defensive sort.  The search driver maintains
+    the invariant once per run: its seed level is sorted, the join of a
+    sorted level is itself sorted (candidates are emitted in left-operand
+    order with ascending extensions), and survivor filtering preserves
+    order — so no level ever needs re-sorting.
     """
-    ordered = sorted(frequent_itemsets)
+    ordered = (
+        list(frequent_itemsets) if presorted else sorted(frequent_itemsets)
+    )
     candidates: List[Tuple[int, ...]] = []
     for index, left in enumerate(ordered):
         prefix = left[:-1]

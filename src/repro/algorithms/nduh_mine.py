@@ -11,22 +11,25 @@ probability exceeds ``pft`` must have
 ``esup >= (N * min_sup - 0.5) + z_pft * sqrt(Var)``, and since the variance
 of a Poisson-Binomial variable never exceeds ``N / 4`` (nor ``esup``), a
 conservative lower bound on the expected support of any qualifying itemset
-can be pushed into UH-Mine's anti-monotone pruning.  Candidates surviving
-the search are then filtered by the Normal test itself.
+can be pushed into UH-Mine's anti-monotone pruning.  As a spec this is
+three hooks over the shared :func:`~repro.algorithms.uh_mine.uh_mine_expand`
+expander: ``search_threshold`` derives the bound, the search runs with
+variance tracking on, and ``finalize`` applies the Normal test itself to
+the surviving candidates.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Optional
 
 from scipy.stats import norm
 
-from ..core.results import FrequentItemset, MiningResult
+from ..core.results import FrequentItemset
+from ..core.search import MinerSpec, SearchContext
 from ..core.support import normal_tail_probability
-from ..db.database import UncertainDatabase
 from .base import ProbabilisticMiner
-from .uh_mine import UHMine
+from .uh_mine import uh_mine_expand
 
 __all__ = ["NDUHMine"]
 
@@ -68,35 +71,42 @@ class NDUHMine(ProbabilisticMiner):
             return max(0.0, min_count - 0.5)
         return max(0.0, (min_count - 0.5) + z * math.sqrt(n_transactions) / 2.0)
 
-    def _mine(self, database: UncertainDatabase, min_count: int, pft: float) -> MiningResult:
-        threshold = self._search_threshold(min_count, pft, len(database))
+    def _search_bar(self, ctx: SearchContext) -> float:
+        threshold = self._search_threshold(ctx.min_count, ctx.pft, ctx.n_transactions)
+        ctx.scratch["search_expected_support_threshold"] = float(threshold)
+        # The bound is an absolute expected support (possibly below 1 for
+        # tiny min_count); the tiny positive floor avoids any
+        # ratio-vs-absolute reinterpretation downstream.
+        return max(threshold, 1e-12)
 
-        engine = UHMine(
-            track_variance=True,
-            track_memory=self.track_memory,
-            backend=self.backend,
-            workers=self.workers,
-            shards=self.shards,
-        )
-        # `threshold` is an absolute expected support (possibly below 1 for
-        # tiny min_count); use the internal entry point to avoid the
-        # ratio-vs-absolute reinterpretation of the public API.
-        inner = engine._mine(database, max(threshold, 1e-12))
-
-        records: List[FrequentItemset] = []
-        for record in inner:
+    @staticmethod
+    def _finalize(ctx: SearchContext) -> None:
+        """The Normal test over the search's survivors (seeds included)."""
+        filtered = []
+        for record in ctx.records:
             variance = record.variance if record.variance is not None else 0.0
             probability = normal_tail_probability(
-                record.expected_support, variance, min_count
+                record.expected_support, variance, ctx.min_count
             )
-            if probability > pft:
-                records.append(
+            if probability > ctx.pft:
+                filtered.append(
                     FrequentItemset(
                         record.itemset, record.expected_support, variance, probability
                     )
                 )
+        ctx.records[:] = filtered
+        ctx.statistics.notes["search_expected_support_threshold"] = ctx.scratch[
+            "search_expected_support_threshold"
+        ]
 
-        statistics = inner.statistics
-        statistics.algorithm = self.name
-        statistics.notes["search_expected_support_threshold"] = float(threshold)
-        return MiningResult(records, statistics)
+    def spec(self, threshold) -> MinerSpec:
+        return MinerSpec(
+            name=self.name,
+            definition="probabilistic",
+            threshold=threshold,
+            seed_mode="statistics",
+            track_variance=True,
+            search_threshold=self._search_bar,
+            finalize=self._finalize,
+            expander=uh_mine_expand,
+        )

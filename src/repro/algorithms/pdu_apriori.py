@@ -4,27 +4,29 @@ The support of an itemset (Poisson-Binomial) is approximated by a Poisson
 variable whose rate equals the expected support.  Because the Poisson upper
 tail is monotone in the rate, the probabilistic threshold ``(min_sup, pft)``
 can be translated *once* into an equivalent minimum expected support
-``lambda*``; mining then reduces to a plain UApriori run with
-``min_esup = lambda*``.  The algorithm therefore inherits UApriori's cost
-profile (fast on dense data with high thresholds) but — as the paper notes —
-cannot report per-itemset frequent probabilities, only membership.
+``lambda*``; mining then reduces to a plain expected-support search with
+``min_esup = lambda*``.  The spec says exactly that: a Definition-4
+decision rule whose ``search_threshold`` hook performs the translation and
+whose score kernel is the shared
+:class:`~repro.core.search.ExpectedSupportKernel`.  The algorithm therefore
+inherits UApriori's cost profile (fast on dense data with high thresholds)
+but — as the paper notes — cannot report per-itemset frequent
+probabilities, only membership.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
-from ..core.results import FrequentItemset, MiningResult
+from ..core.search import ExpectedSupportKernel, MinerSpec, SearchContext
 from ..core.support import poisson_lambda_for_threshold, poisson_tail_probability
-from ..db.database import UncertainDatabase
 from .base import ProbabilisticMiner
-from .uapriori import UApriori
 
 __all__ = ["PDUApriori"]
 
 
 class PDUApriori(ProbabilisticMiner):
-    """Approximate probabilistic miner built on the UApriori framework.
+    """Approximate probabilistic miner built on the expected-support kernel.
 
     Parameters
     ----------
@@ -57,41 +59,37 @@ class PDUApriori(ProbabilisticMiner):
         self.report_probabilities = report_probabilities
         self.use_decremental_pruning = use_decremental_pruning
 
-    def _mine(self, database: UncertainDatabase, min_count: int, pft: float) -> MiningResult:
+    @staticmethod
+    def _search_threshold(ctx: SearchContext) -> float:
         # Translate (min_count, pft) into the equivalent expected-support
-        # threshold under the Poisson approximation.
-        lambda_threshold = poisson_lambda_for_threshold(min_count, pft)
+        # threshold under the Poisson approximation.  The raw value is kept
+        # for the run note; the search bar is floored at a tiny positive
+        # value so lambda* below 1 is not re-interpreted as a ratio anywhere.
+        lambda_threshold = poisson_lambda_for_threshold(ctx.min_count, ctx.pft)
+        ctx.scratch["poisson_lambda_threshold"] = float(lambda_threshold)
+        return max(lambda_threshold, 1e-12)
 
-        engine = UApriori(
-            use_decremental_pruning=self.use_decremental_pruning,
-            track_variance=False,
-            track_memory=self.track_memory,
-            backend=self.backend,
-            workers=self.workers,
-            shards=self.shards,
+    def _record_probability(
+        self, ctx: SearchContext, expected: float
+    ) -> Optional[float]:
+        if not self.report_probabilities:
+            return None
+        return poisson_tail_probability(expected, ctx.min_count)
+
+    @staticmethod
+    def _finalize(ctx: SearchContext) -> None:
+        ctx.statistics.notes["poisson_lambda_threshold"] = ctx.scratch[
+            "poisson_lambda_threshold"
+        ]
+
+    def spec(self, threshold) -> MinerSpec:
+        return MinerSpec(
+            name=self.name,
+            definition="probabilistic",
+            threshold=threshold,
+            kernel=ExpectedSupportKernel(decremental=self.use_decremental_pruning),
+            seed_mode="statistics",
+            search_threshold=self._search_threshold,
+            record_probability=self._record_probability,
+            finalize=self._finalize,
         )
-        # The translated threshold is an *absolute* expected support; call the
-        # internal entry point so values below 1 are not re-interpreted as a
-        # ratio of the database size.
-        inner = engine._mine(database, max(lambda_threshold, 1e-12))
-
-        records: List[FrequentItemset] = []
-        for record in inner:
-            probability = (
-                poisson_tail_probability(record.expected_support, min_count)
-                if self.report_probabilities
-                else None
-            )
-            records.append(
-                FrequentItemset(
-                    record.itemset,
-                    record.expected_support,
-                    record.variance,
-                    probability,
-                )
-            )
-
-        statistics = inner.statistics
-        statistics.algorithm = self.name
-        statistics.notes["poisson_lambda_threshold"] = float(lambda_threshold)
-        return MiningResult(records, statistics)

@@ -1,48 +1,34 @@
-"""Shared Apriori framework for the probabilistic frequent miners.
+"""Shared evaluator bindings for the probabilistic frequent miners.
 
 The exact miners (DP, DC) and the Apriori-based approximate miners
 (NDUApriori) differ only in how they turn a candidate's per-transaction
-probability vector into a frequent-probability value.  This module houses
-the level-wise search they all share:
+probability vector into a frequent-probability value.  The levelwise
+search itself — seeding, Apriori join, downward-closure pruning (valid
+under Definition 4 because the support of a superset is dominated by the
+support of any subset in every possible world), the occupancy → Markov →
+Chernoff bound chain (the *B* vs *NB* variants of the paper), and the
+statistics accounting — lives in :class:`~repro.core.search.LevelwiseSearch`
+behind a :class:`~repro.core.search.MinerSpec`; this base class contributes
+the spec and the evaluator slot of the
+:class:`~repro.core.search.TailEvaluationKernel`.
 
-1. one scan collects the expected support (and variance) of every item;
-2. the frequent-probability evaluator decides which items are frequent;
-3. level ``k + 1`` candidates come from the Apriori join of the frequent
-   ``k``-itemsets, pruned by downward closure (which remains valid under
-   Definition 4 because the support of a superset is dominated by the
-   support of any subset in every possible world);
-4. an optional Chernoff-bound test discards candidates before the expensive
-   exact evaluation (the *B* vs *NB* variants of the paper).
-
-Candidate probability vectors come from a backend-selected
-:class:`~repro.algorithms.common.CandidateSource`; every level is evaluated
-in one batch so subclasses can vectorize their evaluator across candidates
-through the :class:`~repro.core.support.SupportEngine` (the DP recurrence
-advances the whole level at once; the Normal evaluator rides on the
-vectorized moments; divide-and-conquer remains per-candidate but
-NumPy-heavy).
+Every level is evaluated in one batch so subclasses can vectorize their
+evaluator across candidates through the
+:class:`~repro.core.support.SupportEngine` (the DP recurrence advances the
+whole level at once; the Normal evaluator rides on the vectorized moments;
+divide-and-conquer remains per-candidate but NumPy-heavy).
 """
 
 from __future__ import annotations
 
 from abc import abstractmethod
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.itemset import Itemset
-from ..core.results import FrequentItemset, MiningResult
+from ..core.search import MinerSpec, TailEvaluationKernel, markov_item_prefilter
 from ..core.support import SupportEngine
-from ..db.database import UncertainDatabase
 from .base import ProbabilisticMiner
-from .common import (
-    apriori_join,
-    has_infrequent_subset,
-    instrumented_run,
-    item_statistics,
-    make_candidate_source,
-)
-from .pruning import ChernoffPruner
 
 __all__ = ["ProbabilisticAprioriMiner"]
 
@@ -130,140 +116,19 @@ class ProbabilisticAprioriMiner(ProbabilisticMiner):
             variance += probability * (1.0 - probability)
         return expected, variance
 
-    # -- main loop ------------------------------------------------------------------------
-    def _mine(self, database: UncertainDatabase, min_count: int, pft: float) -> MiningResult:
-        statistics = self._new_statistics()
-        pruner = ChernoffPruner(enabled=self.use_pruning)
-        with instrumented_run(statistics, self.track_memory), self._open_executor(
-            database
-        ) as executor:
-            records: List[FrequentItemset] = []
-
-            # Item statistics always come from the unpartitioned view: the
-            # full-column reductions are cheap, and reusing them keeps the
-            # frequent-1-item decisions byte-identical for every (workers,
-            # shards) configuration.
-            stats_by_item = item_statistics(database, backend=self.backend)
-            statistics.database_scans += 1
-
-            if self.item_prefilter:
-                # Markov: Pr[sup >= min_count] <= esup / min_count, so items with
-                # esup < min_count * pft can never qualify.
-                candidate_items = {
-                    item: stats
-                    for item, stats in stats_by_item.items()
-                    if stats[0] >= min_count * pft
-                }
-            else:
-                candidate_items = dict(stats_by_item)
-
-            source = make_candidate_source(
-                database, candidate_items, self.backend, executor=executor
-            )
-
-            current_level = self._evaluate_level(
-                source,
-                [(item,) for item in sorted(candidate_items)],
-                min_count,
-                pft,
-                pruner,
-                statistics,
-                records,
-                executor,
-            )
-
-            while current_level:
-                frequent_keys = set(current_level)
-                candidates = [
-                    candidate
-                    for candidate in apriori_join(sorted(current_level))
-                    if not has_infrequent_subset(candidate, frequent_keys)
-                ]
-                statistics.candidates_generated += len(candidates)
-                if not candidates:
-                    break
-                statistics.database_scans += 1
-                current_level = self._evaluate_level(
-                    source,
-                    candidates,
-                    min_count,
-                    pft,
-                    pruner,
-                    statistics,
-                    records,
-                    executor,
-                )
-
-            statistics.candidates_pruned += pruner.pruned + int(
-                statistics.notes.get("markov_pruned", 0.0)
-            )
-            statistics.notes["chernoff_tested"] = float(pruner.tested)
-            statistics.notes["chernoff_pruned"] = float(pruner.pruned)
-
-        return MiningResult(records, statistics)
-
-    def _evaluate_level(
-        self,
-        source,
-        candidates: List[Tuple[int, ...]],
-        min_count: int,
-        pft: float,
-        pruner: ChernoffPruner,
-        statistics,
-        records: List[FrequentItemset],
-        executor=None,
-    ) -> List[Tuple[int, ...]]:
-        """Evaluate one level of candidates; return the probabilistic frequent ones.
-
-        The full three-stage cascade: the candidate source kills candidates
-        whose bitmap occupancy count is below ``min_count`` before any
-        float work (stage 1), the survivors' columns come from the
-        cross-level prefix cache (stage 2), and the cheap sound bounds run
-        in cost order — occupancy count, then Markov, then Chernoff — so
-        the exact (or approximate) tail evaluation only pays for the
-        candidates no bound could decide (stage 3).  Every filter is
-        one-sided, so the frequent set is identical to the unfiltered
-        evaluation.
-        """
-        if not candidates:
-            return []
-        vectors = source.level_vectors(candidates, min_count=min_count)
-        engine = SupportEngine(vectors)
-        expected = engine.expected_supports()
-        variance = engine.variances()
-        max_supports = engine.nonzero_counts()
-
-        survivors = engine.undecided_after_bounds(
-            min_count,
-            pft,
-            counts=max_supports,
-            use_bounds=pruner.enabled,
-            pruner=pruner,
-            notes=statistics.notes,
+    # -- declarative search ---------------------------------------------------------------
+    def spec(self, threshold) -> MinerSpec:
+        return MinerSpec(
+            name=self.name,
+            definition="probabilistic",
+            threshold=threshold,
+            kernel=TailEvaluationKernel(self._frequent_probabilities_batch),
+            bound_chain=(
+                ("occupancy", "markov", "chernoff")
+                if self.use_pruning
+                else ("occupancy",)
+            ),
+            item_prefilter=markov_item_prefilter if self.item_prefilter else None,
+            seed_mode="evaluate",
         )
-        if not survivors:
-            return []
 
-        statistics.exact_evaluations += len(survivors)
-        batch = SupportEngine(
-            [vectors[index] for index in survivors],
-            expected=expected[survivors],
-            variances=variance[survivors],
-            executor=executor,
-        )
-        probabilities = self._frequent_probabilities_batch(batch, min_count)
-
-        next_level: List[Tuple[int, ...]] = []
-        for index, probability in zip(survivors, probabilities):
-            if probability > pft:
-                candidate = candidates[index]
-                records.append(
-                    FrequentItemset(
-                        Itemset(candidate),
-                        float(expected[index]),
-                        float(variance[index]),
-                        float(probability),
-                    )
-                )
-                next_level.append(candidate)
-        return next_level

@@ -18,21 +18,13 @@ the test-suite uses it.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.itemset import Itemset
-from ..core.results import FrequentItemset, MiningResult
-from ..db.database import UncertainDatabase
+from ..core.search import LevelKernel, MinerSpec, SearchContext
 from .base import ProbabilisticMiner
-from .common import (
-    apriori_join,
-    has_infrequent_subset,
-    instrumented_run,
-    item_statistics,
-    trim_transactions,
-)
+from .common import trim_transactions
 
 __all__ = ["WorldSamplingMiner"]
 
@@ -204,83 +196,91 @@ class WorldSamplingMiner(ProbabilisticMiner):
                         break
         return hits / self.n_worlds
 
-    # -- mining -------------------------------------------------------------------------
-    def _mine(self, database: UncertainDatabase, min_count: int, pft: float) -> MiningResult:
-        statistics = self._new_statistics()
-        with instrumented_run(statistics, self.track_memory):
-            records: List[FrequentItemset] = []
-            stats_by_item = item_statistics(database, backend=self.backend)
-            statistics.database_scans += 1
+    # -- declarative search --------------------------------------------------------------
+    def _expansion_bar(self, ctx: SearchContext) -> float:
+        # Markov prefilter, identical to the analytic Apriori miners but
+        # slack-loosened so borderline items survive sampling noise.
+        return ctx.min_count * max(ctx.pft - self.slack, 0.0)
 
-            # Markov prefilter, identical to the analytic Apriori miners.
-            candidate_items = {
-                item: stats
-                for item, stats in stats_by_item.items()
-                if stats[0] >= min_count * max(pft - self.slack, 0.0)
-            }
-            # Both backends draw worlds transaction by transaction (the same
-            # RNG call sequence); they differ only in the world storage and
-            # the support-counting loop.
-            transactions = trim_transactions(database, candidate_items)
-            presence_cells = (
-                len(candidate_items) * self.n_worlds * len(transactions)
-            )
-            if self.backend == "columnar" and presence_cells <= self.max_presence_cells:
-                presence = self._sample_world_matrices(transactions)
+    def spec(self, threshold) -> MinerSpec:
+        return MinerSpec(
+            name=self.name,
+            definition="probabilistic",
+            threshold=threshold,
+            kernel=_WorldKernel(self),
+            item_prefilter=self._expansion_bar,
+            seed_mode="evaluate",
+            # The sampler stays serial: its single random stream is part of
+            # the deterministic contract (identical estimates for a seed).
+            uses_executor=False,
+        )
 
-                def estimate(candidate: Tuple[int, ...]) -> float:
-                    return self._estimated_frequent_probability_columnar(
-                        presence, candidate, min_count
+
+class _WorldKernel(LevelKernel):
+    """Score kernel estimating tails as hit fractions over sampled worlds.
+
+    Candidate *expansion* uses the slack-loosened threshold
+    ``pft - slack`` (so borderline itemsets are not lost to sampling
+    noise); *recording* uses the unmodified ``pft``.  Survivors of a level
+    are therefore a superset of the recorded itemsets — the extra breadth
+    is the price of the estimator's confidence interval.
+    """
+
+    def __init__(self, miner: WorldSamplingMiner) -> None:
+        self.miner = miner
+        self._estimate = None
+
+    def begin(self, ctx: SearchContext) -> None:
+        miner = self.miner
+        # Both backends draw worlds transaction by transaction (the same
+        # RNG call sequence); they differ only in the world storage and
+        # the support-counting loop.
+        transactions = trim_transactions(ctx.database, ctx.seed_items)
+        presence_cells = len(ctx.seed_items) * miner.n_worlds * len(transactions)
+        min_count = ctx.min_count
+        if (
+            ctx.backend == "columnar"
+            and presence_cells <= miner.max_presence_cells
+        ):
+            presence = miner._sample_world_matrices(transactions)
+
+            def estimate(candidate: Tuple[int, ...]) -> float:
+                return miner._estimated_frequent_probability_columnar(
+                    presence, candidate, min_count
+                )
+
+        else:
+            worlds = miner._sample_worlds(transactions)
+
+            def estimate(candidate: Tuple[int, ...]) -> float:
+                return miner._estimated_frequent_probability(
+                    worlds, candidate, min_count
+                )
+
+        self._estimate = estimate
+        ctx.statistics.database_scans += 1  # the world-materialisation pass
+        ctx.statistics.notes["worlds_sampled"] = float(miner.n_worlds)
+
+    def evaluate(
+        self, ctx: SearchContext, candidates: List[Tuple[int, ...]]
+    ) -> List[Tuple[int, ...]]:
+        statistics = ctx.statistics
+        expansion_threshold = max(ctx.pft - self.miner.slack, 0.0)
+        survivors: List[Tuple[int, ...]] = []
+        for candidate in candidates:
+            probability = self._estimate(candidate)
+            statistics.exact_evaluations += 1
+            if probability > expansion_threshold:
+                survivors.append(candidate)
+            if probability > ctx.pft:
+                if len(candidate) == 1:
+                    expected, variance = ctx.seed_items[candidate[0]]
+                else:
+                    expected = ctx.database.expected_support(
+                        candidate, backend=ctx.backend
                     )
-
-            else:
-                worlds = self._sample_worlds(transactions)
-
-                def estimate(candidate: Tuple[int, ...]) -> float:
-                    return self._estimated_frequent_probability(
-                        worlds, candidate, min_count
+                    variance = ctx.database.support_variance(
+                        candidate, backend=ctx.backend
                     )
-
-            statistics.notes["worlds_sampled"] = float(self.n_worlds)
-
-            expansion_threshold = max(pft - self.slack, 0.0)
-            current_level: List[Tuple[int, ...]] = []
-            for item in sorted(candidate_items):
-                probability = estimate((item,))
-                statistics.exact_evaluations += 1
-                if probability > expansion_threshold:
-                    current_level.append((item,))
-                if probability > pft:
-                    expected, variance = candidate_items[item]
-                    records.append(
-                        FrequentItemset(Itemset((item,)), expected, variance, probability)
-                    )
-
-            while current_level:
-                frequent_keys = set(current_level)
-                candidates = [
-                    candidate
-                    for candidate in apriori_join(sorted(current_level))
-                    if not has_infrequent_subset(candidate, frequent_keys)
-                ]
-                statistics.candidates_generated += len(candidates)
-                if not candidates:
-                    break
-                next_level: List[Tuple[int, ...]] = []
-                for candidate in candidates:
-                    probability = estimate(candidate)
-                    statistics.exact_evaluations += 1
-                    if probability > expansion_threshold:
-                        next_level.append(candidate)
-                    if probability > pft:
-                        records.append(
-                            FrequentItemset(
-                                Itemset(candidate),
-                                database.expected_support(candidate, backend=self.backend),
-                                database.support_variance(candidate, backend=self.backend),
-                                probability,
-                            )
-                        )
-                current_level = next_level
-
-        return MiningResult(records, statistics)
+                ctx.record(candidate, expected, variance, probability)
+        return survivors

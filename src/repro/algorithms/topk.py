@@ -39,10 +39,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-import numpy as np
-
 from ..core.itemset import Itemset
 from ..core.results import FrequentItemset, MiningStatistics
+from ..core.search import LevelwiseSearch, MinerSpec
 from ..core.support import SupportEngine, staged_tail_filter
 from ..core.thresholds import ProbabilisticThreshold
 from ..core.topk import (
@@ -50,11 +49,9 @@ from ..core.topk import (
     ScoredCandidate,
     TopKResult,
     resolve_evaluator,
-    run_topk_search,
 )
 from ..db.database import UncertainDatabase
 from .base import MinerBase
-from .common import instrumented_run, item_statistics, make_candidate_source
 
 __all__ = ["TopKMiner", "exhaustive_topk", "normal_descendant_bound"]
 
@@ -137,49 +134,44 @@ class TopKMiner(MinerBase):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         min_count: Optional[int] = None
+        threshold: Optional[ProbabilisticThreshold] = None
         if self.ranking == "probability":
             if min_sup is None:
                 raise ValueError(
                     f"evaluator {self.evaluator!r} ranks by frequentness "
                     "probability and requires min_sup"
                 )
-            min_count = ProbabilisticThreshold(float(min_sup)).min_count(len(database))
+            threshold = ProbabilisticThreshold(float(min_sup))
+            min_count = threshold.min_count(len(database))
 
-        with self._planned(database):
-            return self._mine_topk(database, k, min_count)
+        spec = self.spec(threshold)
+        with self._planned(database, thresholds=spec.query_thresholds()):
+            return LevelwiseSearch(spec, miner=self).run_topk(database, k, min_count)
 
-    def _mine_topk(
-        self, database: UncertainDatabase, k: int, min_count: Optional[int]
-    ) -> TopKResult:
-        statistics = self._new_statistics()
-        statistics.algorithm = f"topk-{self.evaluator}"
-        with instrumented_run(statistics, self.track_memory), self._open_executor(
-            database
-        ) as executor:
-            stats_by_item = item_statistics(database, backend=self.backend)
-            statistics.database_scans += 1
-            universe = sorted(
-                item for item, stats in stats_by_item.items() if stats[0] > 0.0
-            )
-            source = make_candidate_source(
-                database, universe, self.backend, executor=executor
-            )
+    def spec(self, threshold) -> MinerSpec:
+        """The ranking's declarative spec (kernel-free: scoring enters
+        through :meth:`_topk_evaluate`, the best-first search's evaluator
+        slot)."""
+        return MinerSpec(
+            name=f"topk-{self.evaluator}",
+            definition="expected" if self.ranking == "esup" else "probabilistic",
+            threshold=threshold,
+            seed_mode="none",
+            track_variance=self.track_variance,
+        )
 
-            if self.ranking == "esup":
-                evaluate = self._make_esup_evaluate(source, statistics)
-            else:
-                evaluate = self._make_probability_evaluate(
-                    source, int(min_count), statistics, executor
-                )
-
-            buffer = run_topk_search(
-                universe, evaluate, k, use_floor=self.use_pruning, statistics=statistics
-            )
-            records = buffer.records()
-            statistics.notes["k"] = float(k)
-            statistics.notes["floor"] = buffer.floor
-        return TopKResult(
-            records, k, self.ranking, min_count=min_count, statistics=statistics
+    def _topk_evaluate(
+        self,
+        source,
+        min_count: Optional[int],
+        statistics: MiningStatistics,
+        executor,
+    ):
+        """The evaluator :meth:`LevelwiseSearch.run_topk` drives."""
+        if self.ranking == "esup":
+            return self._make_esup_evaluate(source, statistics)
+        return self._make_probability_evaluate(
+            source, int(min_count), statistics, executor
         )
 
     # -- evaluators --------------------------------------------------------------------

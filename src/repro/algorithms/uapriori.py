@@ -6,11 +6,14 @@ and, optionally, by the *decremental* upper-bound check of Chui et al.;
 each surviving candidate's expected support is accumulated in a single scan
 of the (trimmed) database.
 
-With the columnar backend the whole level is evaluated in one batched pass
-through the :class:`~repro.core.support.SupportEngine`: candidate
-probability vectors come from sparse column intersections with shared
-prefix reuse, and the expected supports fall out as vectorized reductions.
-The decremental pruning only exists on the row path — it is an
+The whole search is one :class:`~repro.core.search.MinerSpec`: the
+levelwise loop, the seeding, and the statistics accounting live in
+:class:`~repro.core.search.LevelwiseSearch`, and the algorithm reduces to
+the Definition-2 score kernel
+(:class:`~repro.core.search.ExpectedSupportKernel`) with decremental
+pruning on the row path.  With the columnar backend the kernel evaluates
+the whole level in one batched :class:`~repro.core.support.SupportEngine`
+pass; the decremental pruning only exists on the row path — it is an
 early-termination trick for the per-transaction scan that the batched
 evaluation replaces wholesale.
 
@@ -21,21 +24,10 @@ space stays small.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
-from ..core.itemset import Itemset
-from ..core.results import FrequentItemset, MiningResult
-from ..core.support import SupportEngine
-from ..db.database import UncertainDatabase
+from ..core.search import ExpectedSupportKernel, MinerSpec
 from .base import ExpectedSupportMiner
-from .common import (
-    apriori_join,
-    frequent_items_by_expected_support,
-    has_infrequent_subset,
-    instrumented_run,
-    make_candidate_source,
-    trim_transactions,
-)
 
 __all__ = ["UApriori"]
 
@@ -85,147 +77,12 @@ class UApriori(ExpectedSupportMiner):
         self.use_decremental_pruning = use_decremental_pruning
         self.track_variance = track_variance
 
-    # -- row-backend internals ---------------------------------------------------------
-    def _candidate_statistics(
-        self,
-        transactions: List[Dict[int, float]],
-        candidate: Tuple[int, ...],
-        min_expected_support: float,
-    ) -> Tuple[float, float, bool]:
-        """Return (expected support, variance, surviving) for one candidate.
-
-        ``surviving`` is False when decremental pruning abandoned the
-        candidate early (its returned statistics are then partial and must
-        not be used).
-        """
-        remaining = len(transactions)
-        expected = 0.0
-        variance = 0.0
-        for units in transactions:
-            remaining -= 1
-            probability = 1.0
-            for item in candidate:
-                unit = units.get(item)
-                if unit is None:
-                    probability = 0.0
-                    break
-                probability *= unit
-            if probability > 0.0:
-                expected += probability
-                if self.track_variance:
-                    variance += probability * (1.0 - probability)
-            if self.use_decremental_pruning and expected + remaining < min_expected_support:
-                return expected, variance, False
-        return expected, variance, expected >= min_expected_support
-
-    def _evaluate_level_rows(
-        self,
-        transactions: List[Dict[int, float]],
-        candidates: List[Tuple[int, ...]],
-        min_expected_support: float,
-    ) -> List[Tuple[Tuple[int, ...], float, Optional[float]]]:
-        """Per-candidate scans with optional decremental early termination."""
-        survivors: List[Tuple[Tuple[int, ...], float, Optional[float]]] = []
-        for candidate in candidates:
-            expected, variance, frequent = self._candidate_statistics(
-                transactions, candidate, min_expected_support
-            )
-            if frequent:
-                survivors.append(
-                    (candidate, expected, variance if self.track_variance else None)
-                )
-        return survivors
-
-    def _evaluate_level_columnar(
-        self,
-        source,
-        candidates: List[Tuple[int, ...]],
-        min_expected_support: float,
-    ) -> List[Tuple[Tuple[int, ...], float, Optional[float]]]:
-        """One batched engine pass over the whole level.
-
-        The candidate source is handed ``min_expected_support`` as the
-        stage-1 kill threshold: ``esup(X) <= count(X)`` (every probability
-        is at most 1), so a candidate whose supporting-row count is below
-        the threshold is already decided infrequent before any float work.
-        """
-        engine = SupportEngine(
-            source.level_vectors(candidates, min_count=min_expected_support)
+    def spec(self, threshold) -> MinerSpec:
+        return MinerSpec(
+            name=self.name,
+            definition="expected",
+            threshold=threshold,
+            kernel=ExpectedSupportKernel(decremental=self.use_decremental_pruning),
+            seed_mode="statistics",
+            track_variance=self.track_variance,
         )
-        expected_supports = engine.expected_supports()
-        variances = engine.variances() if self.track_variance else None
-        survivors: List[Tuple[Tuple[int, ...], float, Optional[float]]] = []
-        for index, candidate in enumerate(candidates):
-            expected = float(expected_supports[index])
-            if expected >= min_expected_support:
-                survivors.append(
-                    (
-                        candidate,
-                        expected,
-                        float(variances[index]) if variances is not None else None,
-                    )
-                )
-        return survivors
-
-    def _mine(self, database: UncertainDatabase, min_expected_support: float) -> MiningResult:
-        statistics = self._new_statistics()
-        with instrumented_run(statistics, self.track_memory), self._open_executor(
-            database
-        ) as executor:
-            records: List[FrequentItemset] = []
-
-            frequent_items = frequent_items_by_expected_support(
-                database, min_expected_support, backend=self.backend
-            )
-            statistics.database_scans += 1
-            for item, (expected, variance) in frequent_items.items():
-                records.append(
-                    FrequentItemset(
-                        Itemset((item,)),
-                        expected,
-                        variance if self.track_variance else None,
-                    )
-                )
-
-            if self.backend == "columnar":
-                source = make_candidate_source(
-                    database, frequent_items, "columnar", executor=executor
-                )
-
-                def evaluate(candidates):
-                    return self._evaluate_level_columnar(
-                        source, candidates, min_expected_support
-                    )
-
-            else:
-                transactions = trim_transactions(database, frequent_items)
-
-                def evaluate(candidates):
-                    return self._evaluate_level_rows(
-                        transactions, candidates, min_expected_support
-                    )
-
-            current_level: List[Tuple[int, ...]] = [
-                (item,) for item in sorted(frequent_items)
-            ]
-            while current_level:
-                frequent_keys = set(current_level)
-                candidates = [
-                    candidate
-                    for candidate in apriori_join(sorted(current_level))
-                    if not has_infrequent_subset(candidate, frequent_keys)
-                ]
-                statistics.candidates_generated += len(candidates)
-                if not candidates:
-                    break
-
-                statistics.database_scans += 1
-                survivors = evaluate(candidates)
-                statistics.candidates_pruned += len(candidates) - len(survivors)
-                for candidate, expected, variance in survivors:
-                    records.append(
-                        FrequentItemset(Itemset(candidate), expected, variance)
-                    )
-                current_level = [candidate for candidate, _, _ in survivors]
-
-        return MiningResult(records, statistics)

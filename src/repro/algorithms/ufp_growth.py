@@ -23,10 +23,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..core.itemset import Itemset
-from ..core.results import FrequentItemset, MiningResult
+from ..core.results import FrequentItemset
+from ..core.search import MinerSpec, SearchContext
 from ..db.database import UncertainDatabase
 from .base import ExpectedSupportMiner
-from .common import frequent_items_by_expected_support, instrumented_run
 
 __all__ = ["UFPGrowth", "UFPTree", "UFPNode"]
 
@@ -298,15 +298,20 @@ class UFPGrowth(ExpectedSupportMiner):
         records: List[FrequentItemset],
         statistics,
     ) -> None:
-        # Visit items bottom-up in the global frequency order.
+        # Visit items bottom-up in the global frequency order.  Every item
+        # of a (conditional) tree is one candidate extension of the suffix:
+        # charged to candidates_generated, and to candidates_pruned when its
+        # conditional expected support rejects it.
         items = sorted(
             tree.item_expected_support,
             key=lambda item: tree.item_order[item],
             reverse=True,
         )
+        statistics.candidates_generated += len(items)
         for item in items:
             expected = tree.item_expected_support[item]
             if expected < min_expected_support:
+                statistics.candidates_pruned += 1
                 continue
             itemset = tuple(sorted(suffix + (item,)))
             variance = self._variance_of(tree, item) if self.track_variance else None
@@ -320,19 +325,31 @@ class UFPGrowth(ExpectedSupportMiner):
                     conditional, suffix + (item,), min_expected_support, records, statistics
                 )
 
-    # -- entry point -------------------------------------------------------------------
-    def _mine(self, database: UncertainDatabase, min_expected_support: float) -> MiningResult:
-        statistics = self._new_statistics()
-        with instrumented_run(statistics, self.track_memory), self._open_executor(
-            database
-        ) as executor:
-            frequent_items = frequent_items_by_expected_support(
-                database, min_expected_support, backend=self.backend
-            )
-            statistics.database_scans += 2  # item pass + tree construction pass
-            records: List[FrequentItemset] = []
-            if frequent_items:
-                tree = self._build_global_tree(database, frequent_items, executor)
-                statistics.notes["global_tree_nodes"] = float(tree.node_count)
-                self._mine_tree(tree, (), min_expected_support, records, statistics)
-        return MiningResult(records, statistics)
+    # -- declarative search ------------------------------------------------------------
+    def _expand(self, ctx: SearchContext) -> None:
+        """Tree construction + FP-growth recursion (the spec's ``expander``).
+
+        UFP-growth has no statistics-seeded 1-itemsets: the singletons are
+        recorded from the *tree's* accumulation (whose floats can differ
+        from the item-statistics scan under probability rounding), so the
+        spec seeds nothing and the whole frequent set — singletons included
+        — comes out of :meth:`_mine_tree` on the global tree.
+        """
+        if not ctx.seed_items:
+            return
+        tree = self._build_global_tree(ctx.database, ctx.seed_items, ctx.executor)
+        ctx.statistics.database_scans += 1  # the tree-construction pass
+        ctx.statistics.notes["global_tree_nodes"] = float(tree.node_count)
+        self._mine_tree(
+            tree, (), ctx.search_min_esup, ctx.records, ctx.statistics
+        )
+
+    def spec(self, threshold) -> MinerSpec:
+        return MinerSpec(
+            name=self.name,
+            definition="expected",
+            threshold=threshold,
+            seed_mode="none",
+            track_variance=self.track_variance,
+            expander=self._expand,
+        )

@@ -9,20 +9,24 @@ builds a head table accumulating, for every item appearing to the right of
 ``position``, the expected support of ``P ∪ {item}``.  Frequent extensions
 are recursed into; no conditional trees are ever materialised, which is
 why UH-Mine wins on sparse databases and low thresholds in the paper.
+
+The depth-first growth plugs into :class:`~repro.core.search.LevelwiseSearch`
+through the spec's ``expander`` hook — :func:`uh_mine_expand` — so the
+driver still owns the item-statistics seeding, the thresholds, and the
+statistics accounting, and NDUH-Mine (the paper's proposal) reuses the
+same expander under its Normal-approximation spec.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..core.itemset import Itemset
-from ..core.results import FrequentItemset, MiningResult
+from ..core.search import MinerSpec, SearchContext
 from ..db.columnar import ColumnarView
 from ..db.database import UncertainDatabase
 from .base import ExpectedSupportMiner
-from .common import frequent_items_by_expected_support, instrumented_run
 
-__all__ = ["UHMine", "build_uh_struct", "build_uh_struct_columnar"]
+__all__ = ["UHMine", "build_uh_struct", "build_uh_struct_columnar", "uh_mine_expand"]
 
 #: One stored transaction: a tuple of (item, probability) cells in global order.
 UHTransaction = Tuple[Tuple[int, float], ...]
@@ -63,6 +67,103 @@ def build_uh_struct_columnar(
     ]
 
 
+def uh_mine_expand(ctx: SearchContext) -> None:
+    """The UH-Mine depth-first growth (a :class:`MinerSpec` ``expander``).
+
+    Builds the UH-Struct over the driver's seed items (one database scan)
+    and starts one depth-first branch per seed item in global frequent-item
+    order.  Head-table extensions are charged to ``candidates_generated``;
+    rejections to ``candidates_pruned``.
+    """
+    frequent_items = ctx.seed_items
+    if not frequent_items:
+        return
+    statistics = ctx.statistics
+
+    item_order = {
+        item: rank
+        for rank, (item, _) in enumerate(
+            sorted(frequent_items.items(), key=lambda kv: (-kv[1][0], kv[0]))
+        )
+    }
+    if ctx.backend == "columnar":
+        if ctx.executor.n_shards > 1:
+            # Each shard yields its rows' ordered unit lists; shard order is
+            # row order, so the concatenation matches the serial struct
+            # exactly.
+            struct: List[UHTransaction] = []
+            for shard_units in ctx.executor.map_shard_method(
+                "rows_as_ordered_units", item_order
+            ):
+                struct.extend(tuple(cells) for cells in shard_units if cells)
+        else:
+            struct = build_uh_struct_columnar(ctx.database.columnar(), item_order)
+    else:
+        struct = build_uh_struct(ctx.database, item_order)
+    statistics.database_scans += 1
+    statistics.notes["uh_struct_cells"] = float(sum(len(cells) for cells in struct))
+
+    # The initial projections: every item starts its own depth-first branch.
+    for item in sorted(frequent_items, key=lambda i: item_order[i]):
+        projections: List[Projection] = []
+        for index, cells in enumerate(struct):
+            for position, (cell_item, probability) in enumerate(cells):
+                if cell_item == item:
+                    projections.append((index, position, probability))
+                    break
+                if item_order[cell_item] > item_order[item]:
+                    break
+        _expand_prefix(ctx, struct, (item,), projections, item_order)
+
+
+def _expand_prefix(
+    ctx: SearchContext,
+    struct: List[UHTransaction],
+    prefix: Tuple[int, ...],
+    projections: List[Projection],
+    item_order: Dict[int, int],
+) -> None:
+    """Recursively extend ``prefix`` by items occurring after its projections."""
+    # Head table for this prefix: item -> [expected support, variance].
+    head: Dict[int, List[float]] = {}
+    for index, position, prefix_probability in projections:
+        cells = struct[index]
+        for cell_item, probability in cells[position + 1 :]:
+            joint = prefix_probability * probability
+            entry = head.get(cell_item)
+            if entry is None:
+                head[cell_item] = [joint, joint * (1.0 - joint)]
+            else:
+                entry[0] += joint
+                entry[1] += joint * (1.0 - joint)
+
+    statistics = ctx.statistics
+    bar = ctx.search_min_esup
+    track_variance = ctx.spec.track_variance
+    statistics.candidates_generated += len(head)
+    for item in sorted(head, key=lambda i: item_order[i]):
+        expected, variance = head[item]
+        if expected < bar:
+            statistics.candidates_pruned += 1
+            continue
+        extended = prefix + (item,)
+        ctx.record(extended, expected, variance if track_variance else None)
+        # Build the projections of the extended prefix.
+        extended_projections: List[Projection] = []
+        for index, position, prefix_probability in projections:
+            cells = struct[index]
+            for offset in range(position + 1, len(cells)):
+                cell_item, probability = cells[offset]
+                if cell_item == item:
+                    extended_projections.append(
+                        (index, offset, prefix_probability * probability)
+                    )
+                    break
+                if item_order[cell_item] > item_order[item]:
+                    break
+        _expand_prefix(ctx, struct, extended, extended_projections, item_order)
+
+
 class UHMine(ExpectedSupportMiner):
     """Depth-first expected-support miner over the UH-Struct.
 
@@ -101,134 +202,12 @@ class UHMine(ExpectedSupportMiner):
         )
         self.track_variance = track_variance
 
-    def _mine(self, database: UncertainDatabase, min_expected_support: float) -> MiningResult:
-        statistics = self._new_statistics()
-        with instrumented_run(statistics, self.track_memory), self._open_executor(
-            database
-        ) as executor:
-            records: List[FrequentItemset] = []
-
-            frequent_items = frequent_items_by_expected_support(
-                database, min_expected_support, backend=self.backend
-            )
-            statistics.database_scans += 1
-            for item, (expected, variance) in frequent_items.items():
-                records.append(
-                    FrequentItemset(
-                        Itemset((item,)),
-                        expected,
-                        variance if self.track_variance else None,
-                    )
-                )
-            if not frequent_items:
-                return MiningResult(records, statistics)
-
-            item_order = {
-                item: rank
-                for rank, (item, _) in enumerate(
-                    sorted(frequent_items.items(), key=lambda kv: (-kv[1][0], kv[0]))
-                )
-            }
-            if self.backend == "columnar":
-                if executor.n_shards > 1:
-                    # Each shard yields its rows' ordered unit lists; shard
-                    # order is row order, so the concatenation matches the
-                    # serial struct exactly.
-                    struct = []
-                    for shard_units in executor.map_shard_method(
-                        "rows_as_ordered_units", item_order
-                    ):
-                        struct.extend(
-                            tuple(cells) for cells in shard_units if cells
-                        )
-                else:
-                    struct = build_uh_struct_columnar(database.columnar(), item_order)
-            else:
-                struct = build_uh_struct(database, item_order)
-            statistics.database_scans += 1
-            statistics.notes["uh_struct_cells"] = float(
-                sum(len(cells) for cells in struct)
-            )
-
-            # The initial projections: every item starts its own depth-first branch.
-            for item in sorted(frequent_items, key=lambda i: item_order[i]):
-                projections: List[Projection] = []
-                for index, cells in enumerate(struct):
-                    for position, (cell_item, probability) in enumerate(cells):
-                        if cell_item == item:
-                            projections.append((index, position, probability))
-                            break
-                        if item_order[cell_item] > item_order[item]:
-                            break
-                self._mine_prefix(
-                    struct,
-                    (item,),
-                    projections,
-                    min_expected_support,
-                    item_order,
-                    records,
-                    statistics,
-                )
-
-        return MiningResult(records, statistics)
-
-    def _mine_prefix(
-        self,
-        struct: List[UHTransaction],
-        prefix: Tuple[int, ...],
-        projections: List[Projection],
-        min_expected_support: float,
-        item_order: Dict[int, int],
-        records: List[FrequentItemset],
-        statistics,
-    ) -> None:
-        """Recursively extend ``prefix`` by items occurring after its projections."""
-        # Head table for this prefix: item -> [expected support, variance].
-        head: Dict[int, List[float]] = {}
-        for index, position, prefix_probability in projections:
-            cells = struct[index]
-            for cell_item, probability in cells[position + 1 :]:
-                joint = prefix_probability * probability
-                entry = head.get(cell_item)
-                if entry is None:
-                    head[cell_item] = [joint, joint * (1.0 - joint)]
-                else:
-                    entry[0] += joint
-                    entry[1] += joint * (1.0 - joint)
-
-        statistics.candidates_generated += len(head)
-        for item in sorted(head, key=lambda i: item_order[i]):
-            expected, variance = head[item]
-            if expected < min_expected_support:
-                statistics.candidates_pruned += 1
-                continue
-            extended = prefix + (item,)
-            records.append(
-                FrequentItemset(
-                    Itemset(extended),
-                    expected,
-                    variance if self.track_variance else None,
-                )
-            )
-            # Build the projections of the extended prefix.
-            extended_projections: List[Projection] = []
-            for index, position, prefix_probability in projections:
-                cells = struct[index]
-                for offset in range(position + 1, len(cells)):
-                    cell_item, probability = cells[offset]
-                    if cell_item == item:
-                        extended_projections.append(
-                            (index, offset, prefix_probability * probability)
-                        )
-                        break
-                    if item_order[cell_item] > item_order[item]:
-                        break
-            self._mine_prefix(
-                struct,
-                extended,
-                extended_projections,
-                min_expected_support,
-                item_order,
-                records,
-                statistics,
-            )
+    def spec(self, threshold) -> MinerSpec:
+        return MinerSpec(
+            name=self.name,
+            definition="expected",
+            threshold=threshold,
+            seed_mode="statistics",
+            track_variance=self.track_variance,
+            expander=uh_mine_expand,
+        )

@@ -303,6 +303,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="plan request to explain (default: auto, the cost-model planner)",
     )
+    explain_parser.add_argument(
+        "--min-sup",
+        type=float,
+        default=None,
+        help=(
+            "query support threshold (ratio or absolute) the planner's "
+            "search-depth estimate should assume"
+        ),
+    )
+    explain_parser.add_argument(
+        "--pft",
+        type=float,
+        default=None,
+        help="probabilistic frequentness threshold for the depth estimate",
+    )
     return parser
 
 
@@ -650,6 +665,7 @@ def _command_store_build(args: argparse.Namespace) -> int:
 
 
 def _command_plan_explain(args: argparse.Namespace) -> int:
+    from .core.thresholds import QueryThresholds
     from .plan import (
         DatasetFeatures,
         Planner,
@@ -663,7 +679,12 @@ def _command_plan_explain(args: argparse.Namespace) -> int:
     auto = plan_request_is_auto(request)
     planner = Planner.from_trajectory()
     features = DatasetFeatures.from_database(database)
-    resolved = materialize_plan(request, database, planner=planner)
+    thresholds = None
+    if args.min_sup is not None or args.pft is not None:
+        thresholds = QueryThresholds(min_support=args.min_sup, pft=args.pft)
+    resolved = materialize_plan(
+        request, database, planner=planner, thresholds=thresholds
+    )
 
     print(
         f"plan-explain: {getattr(database, 'name', args.dataset)} -- "
@@ -677,9 +698,12 @@ def _command_plan_explain(args: argparse.Namespace) -> int:
     print("plan:")
     for name, value in resolved.knob_items():
         print(f"  {name:20s} {value}")
-    print(f"predicted cost: {planner.predict_seconds(features, resolved):.4f}s")
+    print(
+        "predicted cost: "
+        f"{planner.predict_seconds(features, resolved, thresholds=thresholds):.4f}s"
+    )
     if auto:
-        decision = planner.plan(features)
+        decision = planner.plan(features, thresholds=thresholds)
         print("rationale:")
         for key, reason in decision.rationale.items():
             print(f"  {key}: {reason}")

@@ -40,7 +40,41 @@ class FrequentItemset:
 
 @dataclass
 class MiningStatistics:
-    """Bookkeeping of one mining run (uniform across algorithms)."""
+    """Bookkeeping of one mining run (uniform across algorithms).
+
+    The counters follow one accounting contract, charged by the
+    :class:`~repro.core.search.LevelwiseSearch` driver so every miner means
+    the same thing by the same number (pinned per miner by
+    ``tests/test_search_engine.py``):
+
+    ``database_scans``
+        Passes over the transaction data: **one** for the opening
+        item-statistics scan, **one per generator-driven candidate level**
+        (joined or exhaustive — the level's batched evaluation reads every
+        transaction once, whatever the backend), and **one per auxiliary
+        structure built from a full pass** (the UH-struct, the global
+        UFP-tree, the sampled-worlds materialisation).  Streaming slides
+        charge none: their statistics come from the incremental index, not
+        from scans.
+    ``candidates_generated``
+        Every candidate submitted by a level generator (the apriori join
+        after subset pruning, the exhaustive ``combinations``, a
+        depth-first expander's extension sets).  Seed 1-itemsets taken
+        straight from the item-statistics pass are *not* generated — they
+        were never produced by a generator — but the exhaustive references
+        count their size-1 level because their generator enumerates it.
+    ``candidates_pruned``
+        ``generated - admitted`` per level: every generated candidate the
+        decision rule (or a sound bound before it) kept out of the next
+        level.  Bound-filtered and exactly-rejected candidates count the
+        same — the counter answers "how much of the generated frontier
+        died", not "why".
+    ``exact_evaluations``
+        Candidates whose *score kernel* actually ran (exact tails after
+        the bound chain, sampled-world estimates, direct PMF reads).
+        Expected-support arithmetic is not an exact evaluation; bound
+        filters are not either.
+    """
 
     algorithm: str = ""
     elapsed_seconds: float = 0.0

@@ -28,7 +28,7 @@ from typing import Dict, Optional
 
 from ..db.database import UncertainDatabase
 from .probability import GaussianProbabilityModel, ProbabilityModel, ZipfProbabilityModel
-from .synthetic import DenseSparseGenerator, QuestGenerator, attach_probabilities
+from .synthetic import DenseSparseGenerator, QuestGenerator
 
 __all__ = [
     "BenchmarkSpec",

@@ -25,7 +25,6 @@ import os
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, TextIO, Union
 
 from .database import UncertainDatabase
-from .transaction import UncertainTransaction
 
 __all__ = [
     "read_uncertain",

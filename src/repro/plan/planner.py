@@ -27,6 +27,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Union
 
+from ..core.thresholds import QueryThresholds
 from .spec import (
     ExecutionPlan,
     KNOBS,
@@ -190,7 +191,40 @@ class Planner:
         return cls(overrides)
 
     # -- decisions ---------------------------------------------------------------------
-    def plan(self, features: DatasetFeatures, workers_cap: Optional[int] = None) -> PlanDecision:
+    def estimated_depth(
+        self,
+        features: DatasetFeatures,
+        thresholds: Optional[QueryThresholds] = None,
+    ) -> float:
+        """Estimated candidate-level depth of a mine over ``features``.
+
+        The base estimate grows with transaction length (longer transactions
+        sustain deeper frequent itemsets).  When the query ``thresholds``
+        are known they scale it: a looser support threshold admits more
+        items per level and deepens the search (the reference point 0.3 is
+        the support ratio the base coefficient was measured at), and a
+        higher ``pft`` thins the Definition-4 frequent set, ending the
+        search earlier.  Both corrections are clamped — thresholds shift
+        the depth estimate, they never dominate the dataset shape.
+        """
+        depth = (
+            self.coefficients["level_depth"]
+            * max(features.avg_length, 1.0) ** 0.25
+        )
+        if thresholds is not None:
+            ratio = thresholds.support_ratio(features.n_transactions)
+            if ratio is not None and ratio > 0.0:
+                depth *= _clamp((0.3 / ratio) ** 0.5, 0.5, 2.0)
+            if thresholds.pft is not None:
+                depth *= _clamp(1.25 - 0.5 * thresholds.pft, 0.75, 1.0)
+        return _clamp(depth, 1.0, 8.0)
+
+    def plan(
+        self,
+        features: DatasetFeatures,
+        workers_cap: Optional[int] = None,
+        thresholds: Optional[QueryThresholds] = None,
+    ) -> PlanDecision:
         """The planner's configuration for a dataset with ``features``."""
         c = self.coefficients
         rationale: Dict[str, str] = {}
@@ -207,9 +241,23 @@ class Planner:
             "dense shapes and never lose measurably on sparse ones"
         )
 
-        levels = _clamp(
-            c["level_depth"] * max(features.avg_length, 1.0) ** 0.25, 1.0, 8.0
-        )
+        levels = self.estimated_depth(features, thresholds)
+        if thresholds is not None and thresholds.min_support is not None:
+            rationale["depth"] = (
+                f"{levels:.1f} levels: base shape estimate scaled by the "
+                f"query thresholds (min_support={thresholds.min_support:g}"
+                + (
+                    f", pft={thresholds.pft:g}"
+                    if thresholds.pft is not None
+                    else ""
+                )
+                + ")"
+            )
+        else:
+            rationale["depth"] = (
+                f"{levels:.1f} levels: dataset-shape estimate "
+                "(no query thresholds supplied)"
+            )
         work = features.nnz * levels
         if workers_cap is None:
             workers_cap = os.cpu_count() or 1
@@ -281,7 +329,7 @@ class Planner:
             prefix_cache_bytes=prefix_bytes,
             mapped_cache_bytes=mapped_bytes,
         )
-        predicted = self.predict_seconds(features, plan)
+        predicted = self.predict_seconds(features, plan, thresholds)
         return PlanDecision(
             plan=plan,
             features=features,
@@ -289,12 +337,15 @@ class Planner:
             rationale=rationale,
         )
 
-    def predict_seconds(self, features: DatasetFeatures, plan: ExecutionPlan) -> float:
+    def predict_seconds(
+        self,
+        features: DatasetFeatures,
+        plan: ExecutionPlan,
+        thresholds: Optional[QueryThresholds] = None,
+    ) -> float:
         """Predicted wall-clock of a full mine under ``plan``."""
         c = self.coefficients
-        levels = _clamp(
-            c["level_depth"] * max(features.avg_length, 1.0) ** 0.25, 1.0, 8.0
-        )
+        levels = self.estimated_depth(features, thresholds)
         throughput = c["columnar_units_per_second"]
         if (plan.backend or "columnar") == "rows":
             throughput /= c["rows_slowdown"]
@@ -328,6 +379,7 @@ def materialize_plan(
     database: Any = None,
     explicit: Optional[Mapping[str, Any]] = None,
     planner: Optional[Planner] = None,
+    thresholds: Optional[QueryThresholds] = None,
 ) -> ExecutionPlan:
     """Resolve a plan request into a fully-specified :class:`ExecutionPlan`.
 
@@ -352,6 +404,8 @@ def materialize_plan(
     if plan_request_is_auto(request if request is not None else plan) and database is not None:
         if planner is None:
             planner = Planner.from_trajectory()
-        planned = planner.plan(DatasetFeatures.from_database(database)).plan
+        planned = planner.plan(
+            DatasetFeatures.from_database(database), thresholds=thresholds
+        ).plan
     with plan_scope(request):
         return resolve_all(explicit=explicit, planned=planned)

@@ -10,8 +10,10 @@ Two streaming variants cover the paper's two frequent-itemset definitions:
   miner — the frequent probability is read off the window's merged exact
   PMF instead of re-running the DP recurrence from scratch.
 
-Both run the same level-wise Apriori search as their batch counterparts
-(identical join, downward-closure pruning and threshold conversions), but
+Both run the same level-wise search loop as their batch counterparts —
+literally: each slide drives :meth:`repro.core.search.LevelwiseSearch.drive`
+under the miner's declarative :class:`~repro.core.search.MinerSpec`
+(identical join, downward-closure pruning and threshold conversions) — but
 every support statistic comes from the
 :class:`~repro.stream.index.IncrementalSupportIndex`: a slide of ``k``
 transactions refreshes a registered candidate in ``O(k log W)`` bucket
@@ -31,10 +33,11 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
-from ..algorithms.common import apriori_join, has_infrequent_subset, instrumented_run
+from ..algorithms.common import instrumented_run
 from ..algorithms.pruning import ChernoffPruner
 from ..core.itemset import Itemset
 from ..core.results import FrequentItemset, MiningResult, MiningStatistics
+from ..core.search import LevelwiseSearch, MinerSpec, markov_item_prefilter
 from ..core.support import markov_upper_bound, staged_tail_filter
 from ..core.thresholds import ExpectedSupportThreshold, ProbabilisticThreshold
 from ..core.topk import (
@@ -42,7 +45,6 @@ from ..core.topk import (
     ScoredCandidate,
     TopKResult,
     resolve_evaluator,
-    run_topk_search,
 )
 from ..plan import ensure_plan, materialize_plan, plan_scope
 from .index import IncrementalSupportIndex
@@ -204,30 +206,29 @@ class StreamingMiner:
     ) -> None:
         raise NotImplementedError
 
-    def _level_loop(
+    def spec(self) -> MinerSpec:
+        """The slide's declarative spec (kernel-free: scoring reads the index)."""
+        raise NotImplementedError
+
+    def _drive(
         self,
         seed_level: List[Candidate],
         evaluate,
-        queried: List[Candidate],
         statistics: MiningStatistics,
     ) -> None:
-        """The shared Apriori join loop over index-backed level evaluations."""
-        current_level = seed_level
-        while current_level:
-            frequent_keys = set(current_level)
-            candidates = [
-                candidate
-                for candidate in apriori_join(sorted(current_level))
-                if not has_infrequent_subset(candidate, frequent_keys)
-            ]
-            statistics.candidates_generated += len(candidates)
-            if not candidates:
-                break
-            self.index.ensure(candidates)
-            queried.extend(candidates)
-            survivors = evaluate(candidates)
-            statistics.candidates_pruned += len(candidates) - len(survivors)
-            current_level = survivors
+        """Run the engine's levelwise loop over index-backed evaluations.
+
+        The loop itself — apriori join with the maintained sort order,
+        downward-closure subset prune, generated/pruned accounting — is
+        :meth:`repro.core.search.LevelwiseSearch.drive`, shared verbatim
+        with the batch miners; the candidate lifecycle (``index.ensure``
+        back-fill and the ``queried`` retention bookkeeping) is folded into
+        the head of each miner's ``evaluate`` closure.  The seed level is
+        sorted (:meth:`~repro.stream.window.SlidingWindow.active_items`)
+        and survivors preserve order, so the driver's presorted-join
+        invariant holds.
+        """
+        LevelwiseSearch(self.spec()).drive(seed_level, evaluate, statistics)
 
 
 class StreamingUApriori(StreamingMiner):
@@ -266,6 +267,15 @@ class StreamingUApriori(StreamingMiner):
         self.threshold = ExpectedSupportThreshold(float(min_esup))
         self.track_variance = track_variance
 
+    def spec(self) -> MinerSpec:
+        return MinerSpec(
+            name=self.name,
+            definition="expected",
+            threshold=self.threshold,
+            seed_mode="statistics",
+            track_variance=self.track_variance,
+        )
+
     def _mine_window(
         self,
         records: List[FrequentItemset],
@@ -275,6 +285,8 @@ class StreamingUApriori(StreamingMiner):
         min_expected_support = self.threshold.absolute(len(self.window))
 
         def evaluate(candidates: Sequence[Candidate]) -> List[Candidate]:
+            self.index.ensure(candidates)
+            queried.extend(candidates)
             expected, variance, _ = self.index.root_stats(candidates)
             survivors: List[Candidate] = []
             for position, candidate in enumerate(candidates):
@@ -291,9 +303,7 @@ class StreamingUApriori(StreamingMiner):
             return survivors
 
         items = [(item,) for item in self.window.active_items()]
-        self.index.ensure(items)
-        queried.extend(items)
-        self._level_loop(evaluate(items), evaluate, queried, statistics)
+        self._drive(evaluate(items), evaluate, statistics)
 
 
 class StreamingDP(StreamingMiner):
@@ -342,6 +352,20 @@ class StreamingDP(StreamingMiner):
         self.use_pruning = use_pruning
         self.item_prefilter = item_prefilter
 
+    def spec(self) -> MinerSpec:
+        return MinerSpec(
+            name=self.name,
+            definition="probabilistic",
+            threshold=self.threshold,
+            bound_chain=(
+                ("occupancy", "markov", "chernoff")
+                if self.use_pruning
+                else ("occupancy",)
+            ),
+            item_prefilter=markov_item_prefilter if self.item_prefilter else None,
+            seed_mode="evaluate",
+        )
+
     def _mine_window(
         self,
         records: List[FrequentItemset],
@@ -353,6 +377,8 @@ class StreamingDP(StreamingMiner):
         pruner = ChernoffPruner(enabled=self.use_pruning)
 
         def evaluate(candidates: Sequence[Candidate]) -> List[Candidate]:
+            self.index.ensure(candidates)
+            queried.extend(candidates)
             expected, variance, max_supports = self.index.root_stats(candidates)
             # Bound-ordered filter-verify, same staging as the batch
             # cascade: occupancy count, then Markov (one division), then
@@ -395,6 +421,8 @@ class StreamingDP(StreamingMiner):
             return survivors
 
         items = [(item,) for item in self.window.active_items()]
+        # The prefilter reads the index before the first evaluate call, so
+        # the seed's lifecycle runs here (evaluate re-ensures idempotently).
         self.index.ensure(items)
         queried.extend(items)
         if self.item_prefilter:
@@ -405,7 +433,7 @@ class StreamingDP(StreamingMiner):
                 for position, item in enumerate(items)
                 if expected[position] >= min_count * pft
             ]
-        self._level_loop(evaluate(items), evaluate, queried, statistics)
+        self._drive(evaluate(items), evaluate, statistics)
 
 
 class StreamingTopK(StreamingMiner):
@@ -485,6 +513,15 @@ class StreamingTopK(StreamingMiner):
         self._last_min_count: Optional[int] = None
         self._last_statistics: Optional[MiningStatistics] = None
 
+    def spec(self) -> MinerSpec:
+        return MinerSpec(
+            name=f"{self.name}-{self.evaluator}",
+            definition="expected" if self.ranking == "esup" else "probabilistic",
+            threshold=self.threshold,
+            seed_mode="none",
+            track_variance=self.track_variance,
+        )
+
     def ranked_result(self) -> TopKResult:
         """The most recent slide's itemsets in rank order (best first)."""
         return TopKResult(
@@ -514,7 +551,7 @@ class StreamingTopK(StreamingMiner):
             evaluate = self._make_probability_evaluate(
                 int(min_count), queried, statistics
             )
-        buffer = run_topk_search(
+        buffer = LevelwiseSearch(self.spec()).best_first(
             universe, evaluate, self.k, use_floor=self.use_pruning, statistics=statistics
         )
         self._last_ranked = buffer.records()

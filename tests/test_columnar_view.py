@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.db import ColumnarView, UncertainDatabase
+from repro.db import UncertainDatabase
 from repro.db.database import resolve_backend
 
 from helpers import make_random_database

@@ -35,7 +35,7 @@ from repro.core.support import (
     frequent_probabilities_dp_batch,
     pack_probability_matrix,
 )
-from repro.db.partition import ColumnarPartition, shard_bounds
+from repro.db.partition import shard_bounds
 
 from helpers import make_random_database
 
@@ -409,6 +409,7 @@ class TestExecutorLifecycle:
         import multiprocessing
 
         from repro.algorithms.uapriori import UApriori
+        from repro.core.search import ExpectedSupportKernel
 
         database = make_random_database(n_transactions=24, n_items=5, seed=71)
 
@@ -416,7 +417,7 @@ class TestExecutorLifecycle:
             raise RuntimeError("evaluator blew up mid-mine")
 
         miner = UApriori(workers=2, shards=2)
-        monkeypatch.setattr(miner, "_evaluate_level_columnar", explode)
+        monkeypatch.setattr(ExpectedSupportKernel, "evaluate", explode)
         with pytest.raises(RuntimeError):
             miner.mine(database, min_esup=0.1)
         # The executor context manager tore the pool down on the error path.

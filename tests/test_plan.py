@@ -346,6 +346,94 @@ class TestMaterialize:
         assert record_keys(auto.itemsets) == record_keys(explicit.itemsets)
 
 
+class TestPlannerQueryThresholds:
+    """The planner consults the query thresholds (uniformly exposed on
+    ``MinerSpec.query_thresholds()``) for its search-depth estimate."""
+
+    def _planner_and_features(self):
+        from repro.plan import DatasetFeatures, Planner
+
+        database = make_random_database(
+            n_transactions=60, n_items=10, density=0.5, seed=3
+        )
+        return Planner(), DatasetFeatures.from_database(database)
+
+    def test_depth_rationale_names_the_thresholds(self):
+        from repro.core.thresholds import QueryThresholds
+
+        planner, features = self._planner_and_features()
+        decision = planner.plan(
+            features, thresholds=QueryThresholds(min_support=0.3, pft=0.7)
+        )
+        assert "min_support=0.3" in decision.rationale["depth"]
+        assert "pft=0.7" in decision.rationale["depth"]
+
+    def test_depth_rationale_without_thresholds_says_so(self):
+        planner, features = self._planner_and_features()
+        decision = planner.plan(features)
+        assert "no query thresholds" in decision.rationale["depth"]
+
+    def test_looser_support_estimates_deeper_searches(self):
+        from repro.core.thresholds import QueryThresholds
+
+        planner, features = self._planner_and_features()
+        loose = planner.estimated_depth(
+            features, QueryThresholds(min_support=0.05)
+        )
+        tight = planner.estimated_depth(
+            features, QueryThresholds(min_support=0.9)
+        )
+        assert loose > tight
+
+    def test_miner_specs_feed_the_planner_uniformly(self):
+        """Both definitions' specs expose the planner-facing thresholds
+        through the same ``query_thresholds()`` seam the batch miners pass
+        to ``materialize_plan``."""
+        from repro.algorithms.uapriori import UApriori
+        from repro.algorithms.dp import DPMiner
+        from repro.core.thresholds import (
+            ExpectedSupportThreshold,
+            ProbabilisticThreshold,
+        )
+
+        expected_spec = UApriori().spec(ExpectedSupportThreshold(0.2))
+        assert expected_spec.query_thresholds().min_support == 0.2
+
+        probabilistic_spec = DPMiner().spec(ProbabilisticThreshold(0.3, 0.7))
+        query = probabilistic_spec.query_thresholds()
+        assert query.min_support == 0.3
+        assert query.pft == 0.7
+
+    def test_cli_plan_explain_threshold_passthrough(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.db.io import write_uncertain
+
+        database = make_random_database(
+            n_transactions=30, n_items=6, density=0.6, seed=9
+        )
+        path = tmp_path / "tiny.txt"
+        write_uncertain(database, path)
+        assert (
+            main(
+                [
+                    "plan-explain",
+                    "--dataset",
+                    str(path),
+                    "--plan",
+                    "auto",
+                    "--min-sup",
+                    "0.3",
+                    "--pft",
+                    "0.7",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "min_support=0.3" in output
+        assert "pft=0.7" in output
+
+
 # -- the service: no scope-vs-thread bleed ---------------------------------------------
 
 

@@ -1,0 +1,282 @@
+"""Golden-equivalence suite: the MinerSpec engine is held to a bitwise contract.
+
+``tests/goldens/search_engine_goldens.json`` was captured at the last
+pre-refactor commit by ``tools/capture_search_goldens.py``: every registered
+miner over the full equivalence grid (backend x (workers, shards) x bitset),
+the five top-k evaluators over the same grid, and the streaming miners'
+per-slide record series — all serialized with ``repr`` floats, so equality
+of the serialized form is bitwise equality of the mining results.
+
+This module replays the exact same grid through the refactored
+:class:`~repro.core.search.LevelwiseSearch` engine and asserts byte
+equality, plus the two satellites that ride on the engine:
+
+* the apriori join's maintained-sort-order contract (``presorted=True``
+  produces the identical candidate list the sorting join produced); and
+* the uniform statistics accounting, pinned per miner (see the
+  :class:`~repro.core.results.MiningStatistics` docstring for the rules).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import random
+
+import pytest
+
+from helpers import make_random_database
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "goldens", "search_engine_goldens.json"
+)
+
+# The capture harness is the single source of truth for the grid, the
+# thresholds, the per-miner options and the serialization; importing it here
+# means the replay can never drift from the capture.
+_spec = importlib.util.spec_from_file_location(
+    "capture_search_goldens",
+    os.path.join(_REPO_ROOT, "tools", "capture_search_goldens.py"),
+)
+harness = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(harness)
+
+with open(_GOLDEN_PATH, encoding="utf-8") as _handle:
+    GOLDENS = json.load(_handle)
+
+THRESHOLD_KEYS = sorted(GOLDENS["threshold_grid"])
+TOPK_KEYS = sorted(GOLDENS["topk_grid"])
+STREAMING_KEYS = sorted(GOLDENS["streaming"])
+
+
+def _parse_key(key):
+    algorithm, backend, ws, bitset = key.split("|")
+    workers, shards = ws[1:].split("s")
+    return algorithm, backend, int(workers), int(shards), bitset == "bitset=on"
+
+
+@pytest.fixture(scope="module")
+def database():
+    return make_random_database(**GOLDENS["dataset"])
+
+
+# -- the bitwise contract --------------------------------------------------------------
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("key", THRESHOLD_KEYS)
+    def test_threshold_grid_bitwise(self, database, key):
+        from repro.core.miner import mine
+        from repro.core.registry import get_algorithm
+
+        algorithm, backend, workers, shards, bitset = _parse_key(key)
+        kwargs = dict(
+            harness.MINER_OPTIONS[algorithm],
+            backend=backend,
+            workers=workers,
+            shards=shards,
+            plan={"bitset": bitset},
+        )
+        if get_algorithm(algorithm).family == "expected":
+            result = mine(database, algorithm, min_esup=harness.MIN_ESUP, **kwargs)
+        else:
+            result = mine(
+                database, algorithm, min_sup=harness.MIN_SUP, pft=harness.PFT, **kwargs
+            )
+        assert harness.serialize_records(result) == GOLDENS["threshold_grid"][key]
+
+    @pytest.mark.parametrize("key", TOPK_KEYS)
+    def test_topk_grid_bitwise(self, database, key):
+        from repro.algorithms.topk import TopKMiner
+
+        name, backend, workers, shards, bitset = _parse_key(key)
+        evaluator = name[len("topk-"):]
+        miner = TopKMiner(
+            evaluator=evaluator,
+            backend=backend,
+            workers=workers,
+            shards=shards,
+            plan={"bitset": bitset},
+        )
+        min_sup = None if evaluator == "esup" else harness.MIN_SUP
+        result = miner.mine(database, GOLDENS["topk_k"], min_sup=min_sup)
+        assert harness.serialize_records(result.itemsets) == GOLDENS["topk_grid"][key]
+
+    @pytest.mark.parametrize("key", STREAMING_KEYS)
+    def test_streaming_bitwise(self, database, key):
+        from repro.stream import (
+            StreamingDP,
+            StreamingTopK,
+            StreamingUApriori,
+            TransactionStream,
+        )
+
+        stream_config = GOLDENS["stream"]
+        window = stream_config["window"]
+        miners = {
+            "stream-uapriori": lambda: StreamingUApriori(window, harness.MIN_ESUP),
+            "stream-dp": lambda: StreamingDP(window, harness.MIN_SUP, harness.PFT),
+            "stream-topk-esup": lambda: StreamingTopK(window, k=5),
+            "stream-topk-dp": lambda: StreamingTopK(
+                window, k=5, evaluator="dp", min_sup=harness.MIN_SUP
+            ),
+        }
+        stream = TransactionStream.from_records(
+            [dict(transaction.units) for transaction in database]
+        )
+        per_slide = [
+            harness.serialize_records(result)
+            for result in miners[key]().results(
+                stream, stream_config["step"], max_slides=stream_config["slides"]
+            )
+        ]
+        assert per_slide == GOLDENS["streaming"][key]
+
+
+# -- satellite: the maintained-sort-order join ------------------------------------------
+class TestAprioriJoinPresorted:
+    def _random_level(self, rng, size):
+        universe = range(20)
+        level = {tuple(sorted(rng.sample(universe, size))) for _ in range(40)}
+        return sorted(level)
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 4])
+    def test_presorted_join_output_unchanged(self, size):
+        """``presorted=True`` on a sorted level == the sorting join, exactly."""
+        from repro.algorithms.common import apriori_join
+
+        rng = random.Random(size)
+        level = self._random_level(rng, size)
+        shuffled = list(level)
+        rng.shuffle(shuffled)
+        expected = apriori_join(shuffled)  # the engine's pre-refactor call shape
+        assert apriori_join(level, presorted=True) == expected
+        assert apriori_join(level) == expected
+
+    @pytest.mark.parametrize("size", [1, 2, 3])
+    def test_join_of_sorted_level_is_sorted(self, size):
+        """The invariant that lets the driver sort once per run: sorted in,
+        sorted out — so survivors (which preserve order) re-enter presorted."""
+        from repro.algorithms.common import apriori_join
+
+        rng = random.Random(100 + size)
+        level = self._random_level(rng, size)
+        joined = apriori_join(level, presorted=True)
+        assert joined == sorted(joined)
+        # ...and the chain holds: any subsequence of the output is a valid
+        # presorted input for the next level.
+        survivors = joined[::2]
+        assert apriori_join(survivors, presorted=True) == apriori_join(survivors)
+
+
+# -- satellite: uniform statistics accounting -------------------------------------------
+#: (database_scans, candidates_generated, candidates_pruned, exact_evaluations)
+#: per miner on the golden dataset, columnar backend, workers=1, shards=1 —
+#: the uniform accounting of the engine (rules documented on
+#: ``MiningStatistics``).  A change here means the accounting contract moved:
+#: update the docstring and these pins together, deliberately.
+COUNTER_PINS = {
+    "uapriori": (4, 125, 61, 0),
+    "ufp-growth": (2, 73, 0, 0),
+    "uh-mine": (2, 164, 100, 0),
+    "dpb": (3, 120, 83, 107),
+    "dpnb": (3, 120, 83, 129),
+    "dcb": (3, 120, 83, 107),
+    "dcnb": (3, 120, 83, 129),
+    "pdu-apriori": (3, 120, 83, 0),
+    "ndu-apriori": (3, 120, 83, 129),
+    "nduh-mine": (2, 122, 85, 0),
+    "world-sampling": (4, 120, 83, 129),
+    "exhaustive-expected": (6, 381, 308, 0),
+    "exhaustive-prob": (5, 255, 209, 255),
+}
+
+
+class TestUniformAccounting:
+    @pytest.mark.parametrize("algorithm", sorted(COUNTER_PINS))
+    def test_counters_pinned(self, database, algorithm):
+        from repro.core.miner import mine
+        from repro.core.registry import get_algorithm
+
+        kwargs = dict(
+            harness.MINER_OPTIONS[algorithm], backend="columnar", workers=1, shards=1
+        )
+        if get_algorithm(algorithm).family == "expected":
+            result = mine(database, algorithm, min_esup=harness.MIN_ESUP, **kwargs)
+        else:
+            result = mine(
+                database, algorithm, min_sup=harness.MIN_SUP, pft=harness.PFT, **kwargs
+            )
+        statistics = result.statistics
+        assert (
+            statistics.database_scans,
+            statistics.candidates_generated,
+            statistics.candidates_pruned,
+            statistics.exact_evaluations,
+        ) == COUNTER_PINS[algorithm]
+
+    def test_bounds_only_reduce_exact_evaluations(self, database):
+        """The *B/NB* pairs agree on generated/pruned; bounds only cut the
+        exact-evaluation bill — the accounting keeps them comparable."""
+        for bounded, unbounded in (("dpb", "dpnb"), ("dcb", "dcnb")):
+            assert COUNTER_PINS[bounded][:3] == COUNTER_PINS[unbounded][:3]
+            assert COUNTER_PINS[bounded][3] <= COUNTER_PINS[unbounded][3]
+
+
+# -- the spec itself --------------------------------------------------------------------
+class TestMinerSpecValidation:
+    def test_rejects_unknown_definition(self):
+        from repro.core.search import MinerSpec
+
+        with pytest.raises(ValueError, match="definition"):
+            MinerSpec(name="x", definition="fuzzy")
+
+    def test_rejects_unknown_seed_mode(self):
+        from repro.core.search import MinerSpec
+
+        with pytest.raises(ValueError, match="seed_mode"):
+            MinerSpec(name="x", definition="expected", seed_mode="telepathy")
+
+    def test_exhaustive_generator_requires_unseeded_search(self):
+        from repro.core.search import MinerSpec
+
+        with pytest.raises(ValueError, match="exhaustive"):
+            MinerSpec(
+                name="x",
+                definition="expected",
+                level_generator="exhaustive",
+                seed_mode="statistics",
+            )
+
+    def test_specs_are_frozen(self):
+        from repro.core.search import MinerSpec
+
+        spec = MinerSpec(name="x", definition="expected")
+        with pytest.raises(AttributeError):
+            spec.name = "y"
+
+    def test_query_thresholds_uniformly_exposed(self):
+        """Every spec exposes the planner-facing thresholds, whatever the
+        definition — the seam the planner's depth estimate consults."""
+        from repro.core.search import MinerSpec
+        from repro.core.thresholds import (
+            ExpectedSupportThreshold,
+            ProbabilisticThreshold,
+        )
+
+        expected = MinerSpec(
+            name="x", definition="expected", threshold=ExpectedSupportThreshold(0.1)
+        )
+        assert expected.query_thresholds().min_support == 0.1
+        assert expected.query_thresholds().pft is None
+
+        probabilistic = MinerSpec(
+            name="x",
+            definition="probabilistic",
+            threshold=ProbabilisticThreshold(0.2, 0.7),
+        )
+        assert probabilistic.query_thresholds().min_support == 0.2
+        assert probabilistic.query_thresholds().pft == 0.7
+
+        bare = MinerSpec(name="x", definition="expected")
+        assert bare.query_thresholds().min_support is None

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.algorithms import ExhaustiveExpectedSupportMiner, UApriori
-from repro.core import Itemset
 
 from helpers import make_random_database
 

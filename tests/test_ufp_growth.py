@@ -4,7 +4,6 @@ import pytest
 
 from repro.algorithms import UApriori, UFPGrowth
 from repro.algorithms.ufp_growth import UFPTree
-from repro.core import Itemset
 
 from helpers import make_random_database
 

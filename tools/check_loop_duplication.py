@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""CI tripwire: the levelwise loop must not grow back outside the engine.
+
+The MinerSpec refactor collapsed thirteen hand-rolled levelwise loops into
+:class:`repro.core.search.LevelwiseSearch`.  This script fails CI whenever a
+loop fingerprint — ``while current_level`` or a call to ``apriori_join(`` —
+reappears in ``src/`` outside the two files allowed to own it:
+
+* ``repro/core/search.py`` — the driver (calls the join);
+* ``repro/algorithms/common.py`` — the join's definition.
+
+A hit anywhere else means someone re-implemented the search loop instead of
+writing a spec; route the new miner through ``LevelwiseSearch`` instead
+(see the "writing a new miner" guide in the README).
+
+Exit status: 0 when clean, 1 when a duplicate loop is found.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SOURCE_ROOT = os.path.join(REPO_ROOT, "src")
+
+#: the loop fingerprints that may only exist inside the engine
+FINGERPRINTS = (
+    re.compile(r"while current_level"),
+    re.compile(r"\bapriori_join\("),
+)
+
+#: the only files allowed to contain a fingerprint (repo-relative)
+ALLOWED = frozenset(
+    {
+        os.path.join("src", "repro", "core", "search.py"),
+        os.path.join("src", "repro", "algorithms", "common.py"),
+    }
+)
+
+
+def find_violations(source_root: str = SOURCE_ROOT):
+    violations = []
+    for directory, _subdirs, filenames in os.walk(source_root):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(directory, filename)
+            relative = os.path.relpath(path, REPO_ROOT)
+            if relative in ALLOWED:
+                continue
+            with open(path, encoding="utf-8") as handle:
+                for line_number, line in enumerate(handle, start=1):
+                    for fingerprint in FINGERPRINTS:
+                        if fingerprint.search(line):
+                            violations.append(
+                                (relative, line_number, fingerprint.pattern, line.rstrip())
+                            )
+    return violations
+
+
+def main() -> int:
+    violations = find_violations()
+    if not violations:
+        print("loop-duplication tripwire: clean (the engine owns the only loop)")
+        return 0
+    print("loop-duplication tripwire: the levelwise loop leaked out of the engine:")
+    for relative, line_number, pattern, line in violations:
+        print(f"  {relative}:{line_number}: [{pattern}] {line}")
+    print(
+        "\nNew miners must be MinerSpec bindings driven by "
+        "repro.core.search.LevelwiseSearch, not hand-rolled loops."
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
