@@ -39,6 +39,7 @@ BENCHES = {
     "bench_stream_window": "stream_window",
     "bench_store_fanout": "store_fanout",
     "bench_service": "service",
+    "bench_resilience": "resilience",
     "bench_topk": "topk",
     "bench_planner": "planner",
     "bench_table4_probability_methods": "table4_probability_methods",
@@ -67,6 +68,7 @@ QUICK = [
     "bench_backend_columnar",
     "bench_store_fanout",
     "bench_service",
+    "bench_resilience",
     "bench_table4_probability_methods",
     "bench_ablation_convolution",
     "bench_definition_unification",

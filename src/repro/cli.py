@@ -224,6 +224,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the packed occupancy-bitmap plane (smaller store, slower cascade)",
     )
 
+    verify_parser = subparsers.add_parser(
+        "store-verify",
+        help="recompute plane checksums of a columnar store and report corruption",
+    )
+    verify_parser.add_argument(
+        "directory",
+        nargs="?",
+        default=None,
+        metavar="DIR",
+        help="store directory (default: the REPRO_STORE environment variable)",
+    )
+
     serve_parser = subparsers.add_parser(
         "serve", help="run the JSON-over-socket mining service"
     )
@@ -279,6 +291,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--no-cache", action="store_true", help="disable the result cache"
+    )
+    serve_parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "install a deterministic fault-injection plan for the server "
+            "process (e.g. 'seed=7;socket-drop@2'; see REPRO_FAULTS)"
+        ),
     )
 
     explain_parser = subparsers.add_parser(
@@ -664,6 +685,31 @@ def _command_store_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_store_verify(args: argparse.Namespace) -> int:
+    directory = resolve_store_path(args.directory)
+    store = ColumnarStore.open(directory)
+    report = store.verify()
+    print(f"store-verify: {report['directory']}")
+    for plane, entry in sorted(report["planes"].items()):
+        if entry.get("skipped"):
+            detail = f"skipped ({entry['skipped']})"
+        elif entry.get("error"):
+            detail = f"ERROR ({entry['error']})"
+        elif entry["ok"]:
+            detail = f"ok (crc32 {entry['actual']}, {entry['nbytes']} bytes)"
+        else:
+            detail = (
+                f"CORRUPT (expected crc32 {entry['expected']}, "
+                f"got {entry['actual']})"
+            )
+        print(f"  {plane:8s} {detail}")
+    if report["ok"]:
+        print("store-verify: OK")
+        return 0
+    print("store-verify: FAILED")
+    return 1
+
+
 def _command_plan_explain(args: argparse.Namespace) -> int:
     from .core.thresholds import QueryThresholds
     from .plan import (
@@ -715,6 +761,11 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     from .service import MiningServer
 
+    if args.faults:
+        from . import faults
+
+        faults.install_faults(faults.FaultPlan.parse(args.faults))
+        print(f"serve: fault plan installed ({args.faults!r})")
     server = MiningServer(
         host=args.host,
         port=args.port,
@@ -775,6 +826,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_list()
     if args.command == "store-build":
         return _command_store_build(args)
+    if args.command == "store-verify":
+        return _command_store_verify(args)
     if args.command == "serve":
         return _command_serve(args)
     if args.command == "plan-explain":

@@ -49,13 +49,18 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import signal
 import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..plan.spec import ExecutionPlan, plan_scope, resolve_knob
 from .support import (
     dc_tail_probabilities,
@@ -70,6 +75,7 @@ __all__ = [
     "SHARDS_ENV",
     "FANOUT_ENV",
     "live_pool_count",
+    "pool_restart_count",
     "resolve_workers",
     "resolve_shards",
     "resolve_fanout",
@@ -80,6 +86,12 @@ __all__ = [
 #: process-wide count of worker pools currently alive (see live_pool_count)
 _LIVE_POOLS = 0
 _LIVE_POOLS_LOCK = threading.Lock()
+
+#: process-wide count of pools rebuilt after dead-worker detection
+_POOL_RESTARTS = 0
+
+#: pool rebuilds attempted per batch before giving up
+_POOL_MAX_RESTARTS = 3
 
 
 def live_pool_count() -> int:
@@ -105,6 +117,23 @@ def _pool_closed() -> None:
     global _LIVE_POOLS
     with _LIVE_POOLS_LOCK:
         _LIVE_POOLS -= 1
+
+
+def pool_restart_count() -> int:
+    """How many worker pools have been rebuilt after a dead-worker detection.
+
+    Monotone over the process lifetime; the mining service surfaces it
+    through the ``stats``/``health`` ops so worker churn is observable from
+    a client without log access.
+    """
+    with _LIVE_POOLS_LOCK:
+        return _POOL_RESTARTS
+
+
+def _pool_restarted() -> None:
+    global _POOL_RESTARTS
+    with _LIVE_POOLS_LOCK:
+        _POOL_RESTARTS += 1
 
 #: environment variable supplying the default worker count
 WORKERS_ENV = "REPRO_WORKERS"
@@ -260,6 +289,9 @@ def _resolve_shard_entry(entry: Any) -> Any:
 
 def _install_worker_shards(payload: Optional[Sequence[Any]]) -> None:
     global _WORKER_SHARDS, _WORKER_ATTACH_ERROR
+    # Fault probes belong to the coordinator; a forked worker inheriting an
+    # active plan must not fire faults on its own schedule.
+    faults.disable_in_process()
     _WORKER_SHARDS = None
     _WORKER_ATTACH_ERROR = None
     if payload is None:
@@ -353,6 +385,8 @@ class ParallelExecutor:
         self._cache_size = int(cache_size)
         #: number of per-shard results served from the coordinator cache
         self.cache_hits = 0
+        #: pools this executor rebuilt after detecting dead workers
+        self.pool_restarts = 0
 
     # -- lifecycle ---------------------------------------------------------------
     @property
@@ -371,8 +405,7 @@ class ParallelExecutor:
         run is being abandoned and outstanding work should be dropped.
         """
         if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
+            self._pool.shutdown(wait=True)
             self._pool = None
             _pool_closed()
         self._release_segments()
@@ -382,12 +415,19 @@ class ParallelExecutor:
 
         The error-path shutdown: a graceful :meth:`close` would block on
         whatever tasks are still queued or running, so an exceptional exit
-        tears the pool down instead of waiting for work whose results will
-        never be consumed.
+        SIGTERMs the workers and drops queued work instead of waiting for
+        results that will never be consumed.  Also the recovery-path
+        shutdown after a worker death — the executor's broken-pool
+        handling has already reaped the dead workers by then, so the
+        joining ``shutdown`` cannot deadlock (unlike the historical
+        ``multiprocessing.Pool.terminate``, which blocked forever on a
+        queue lock died-with by a SIGKILLed worker).
         """
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            for worker in list(self._pool._processes.values() or []):
+                if worker.exitcode is None:
+                    worker.terminate()
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
             _pool_closed()
         self._release_segments()
@@ -497,19 +537,97 @@ class ParallelExecutor:
             context = multiprocessing.get_context(
                 "fork" if "fork" in methods else "spawn"
             )
-            self._pool = context.Pool(
-                self.workers,
+            # concurrent.futures rather than multiprocessing.Pool: when a
+            # worker dies, the executor marks itself broken and fails the
+            # in-flight futures promptly, whereas Pool.map blocks forever
+            # (the supervisor respawns the worker but the lost task's
+            # result never arrives) and Pool.terminate can deadlock on a
+            # queue lock the killed worker died holding.
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
                 initializer=_install_worker_shards,
                 initargs=(payload,),
             )
             _pool_opened()
         return self._pool
 
+    def _pool_is_degraded(self) -> bool:
+        """Whether the live pool has lost a worker since creation.
+
+        Either symptom suffices: the executor flagged itself broken (a
+        death was noticed while futures were pending), or a worker process
+        has its ``exitcode`` set (died idle — nothing was pending, so the
+        executor has not noticed yet, but the next batch would break it).
+        """
+        pool = self._pool
+        if pool is None:
+            return False
+        if getattr(pool, "_broken", False):
+            return True
+        processes = pool._processes
+        return bool(processes) and any(
+            worker.exitcode is not None for worker in processes.values()
+        )
+
+    def _kill_one_worker(self) -> None:
+        """SIGKILL one live pool worker (the ``worker-crash`` fault site).
+
+        Deterministically the lowest-PID worker, so a seeded plan kills the
+        same pool member every run.
+        """
+        pool = self._pool
+        processes = getattr(pool, "_processes", None) if pool is not None else None
+        if not processes:  # pragma: no cover - workers spawn on first submit
+            return
+        os.kill(min(processes), signal.SIGKILL)
+
+    def _pooled_map(self, task, payloads: List[Any]) -> List[Any]:
+        """Pooled ordered map with dead-worker detection, rebuild and resubmit.
+
+        A lost worker fails the batch with ``BrokenProcessPool`` (or, if it
+        died idle, leaves a corpse :meth:`_pool_is_degraded` spots); in
+        both cases the pool is torn down and rebuilt, and an unfinished
+        batch is resubmitted whole.  Safe because every pool task is a
+        pure function of its payload — resubmission returns
+        bitwise-identical results.  ``terminate()`` runs
+        ``_release_segments()``, dropping the memoised dispatch payload, so
+        the rebuilt pool re-exports fresh shared-memory segments — nothing
+        leaks and nothing dangles.  Rebuilds are bounded: a crash-looping
+        environment raises instead of retrying forever.
+        """
+        if faults.fire("task-latency"):
+            time.sleep(faults.latency_seconds())
+        restarts = 0
+        while True:
+            pool = self._ensure_pool()
+            results: Optional[List[Any]] = None
+            try:
+                futures = [pool.submit(task, payload) for payload in payloads]
+                if faults.fire("worker-crash"):
+                    self._kill_one_worker()
+                results = [future.result() for future in futures]
+            except BrokenProcessPool:
+                results = None
+            if results is not None and not self._pool_is_degraded():
+                return results
+            self.terminate()
+            self.pool_restarts += 1
+            _pool_restarted()
+            if results is not None:
+                return results
+            restarts += 1
+            if restarts > _POOL_MAX_RESTARTS:
+                raise RuntimeError(
+                    f"worker pool lost workers {restarts} times on one batch "
+                    f"(limit {_POOL_MAX_RESTARTS} rebuilds); giving up"
+                )
+
     def _map(self, task, payloads: List[Any]) -> List[Any]:
         """Ordered map over payloads — in-process when serial, pooled otherwise."""
         if not self.parallel or len(payloads) <= 1:
             return [task(payload) for payload in payloads]
-        return self._ensure_pool().map(task, payloads)
+        return self._pooled_map(task, payloads)
 
     # -- shard fan-out -----------------------------------------------------------
     def map_shard_method(self, method: str, *args, **kwargs) -> List[Any]:
@@ -541,7 +659,7 @@ class ParallelExecutor:
         if missing:
             payloads = [(index, method, args, kwargs) for index in missing]
             if self.parallel and len(missing) > 1:
-                fresh = self._ensure_pool().map(_shard_method_task, payloads)
+                fresh = self._pooled_map(_shard_method_task, payloads)
             else:
                 fresh = [
                     getattr(self._shard_views[index], method)(*args, **kwargs)

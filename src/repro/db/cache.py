@@ -142,7 +142,15 @@ class ByteBudgetLRU:
         every ``put`` is dropped), which keeps call sites branch-free.
     """
 
-    __slots__ = ("budget_bytes", "nbytes", "hits", "misses", "_entries", "_lock")
+    __slots__ = (
+        "budget_bytes",
+        "nbytes",
+        "hits",
+        "misses",
+        "evictions",
+        "_entries",
+        "_lock",
+    )
 
     def __init__(self, budget_bytes: int) -> None:
         self.budget_bytes = int(budget_bytes)
@@ -150,6 +158,9 @@ class ByteBudgetLRU:
         self.nbytes = 0
         self.hits = 0
         self.misses = 0
+        #: entries dropped by budget pressure (``clear`` and ``pop`` do not
+        #: count — only LRU evictions forced by ``put``)
+        self.evictions = 0
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.RLock()
 
@@ -205,6 +216,7 @@ class ByteBudgetLRU:
             while self.nbytes > self.budget_bytes and self._entries:
                 _, evicted = self._entries.popitem(last=False)
                 self.nbytes -= _payload_nbytes(evicted)
+                self.evictions += 1
 
     def pop(self, key: Hashable) -> Optional[Any]:
         """Remove and return the value cached under ``key`` (``None`` if absent)."""

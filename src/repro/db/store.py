@@ -54,10 +54,12 @@ from __future__ import annotations
 import json
 import os
 import secrets
+import zlib
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..plan.spec import resolve_knob
 from .cache import ByteBudgetLRU
 from .columnar import ColumnarView, ItemColumn
@@ -76,6 +78,7 @@ __all__ = [
     "export_shard_segment",
     "resolve_store_path",
     "STORE_ENV",
+    "STORE_VERIFY_ENV",
     "MANIFEST_NAME",
     "MAPPED_CACHE_BYTES_ENV",
     "DEFAULT_MAPPED_CACHE_BYTES",
@@ -83,6 +86,10 @@ __all__ = [
 
 #: environment variable supplying the default store directory (CLI ``--store``)
 STORE_ENV = "REPRO_STORE"
+#: when truthy, every fresh ``ColumnarStore.open`` checksum-verifies the
+#: plane files before returning (reads every byte — a startup cost, paid
+#: for integrity; per-process-cached re-opens are not re-verified)
+STORE_VERIFY_ENV = "REPRO_STORE_VERIFY"
 #: env override for the per-view materialised-column cache of mapped views
 MAPPED_CACHE_BYTES_ENV = "REPRO_MAPPED_CACHE_BYTES"
 #: default budget of the mapped-column cache.  Full-range columns are memmap
@@ -118,6 +125,20 @@ def resolve_store_path(path: Optional[str] = None) -> str:
 
 def _native_dtype_strings() -> Dict[str, str]:
     return {key: np.dtype(dtype).str for key, dtype in _PLANE_DTYPES.items()}
+
+
+def _file_crc32(path: str, chunk_bytes: int = 1 << 20) -> Tuple[int, int]:
+    """``(size, CRC-32)`` of a file, streamed in chunks from disk."""
+    crc = 0
+    nbytes = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_bytes)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+            nbytes += len(chunk)
+    return nbytes, crc & 0xFFFFFFFF
 
 
 class StoreWriter:
@@ -162,6 +183,11 @@ class StoreWriter:
         self._items: List[int] = []
         self._offsets: List[int] = [0]
         self._statistics: List[Tuple[float, float]] = []
+        #: running CRC-32 per plane, updated as bytes stream out — the
+        #: checksum costs nothing extra at build time (the bytes are in
+        #: hand), whereas computing it after the fact would re-read every
+        #: plane from disk.
+        self._plane_crcs: Dict[str, int] = {"rows": 0, "probs": 0, "bitmaps": 0}
         self._finalized = False
         self._closed = False
 
@@ -191,12 +217,20 @@ class StoreWriter:
                 )
             if len(rows) > 1 and not (np.diff(rows) > 0).all():
                 raise StoreError(f"row indices of item {item} must be strictly increasing")
-        self._rows_handle.write(rows.tobytes())
-        self._probs_handle.write(probs.tobytes())
+        rows_bytes = rows.tobytes()
+        probs_bytes = probs.tobytes()
+        self._rows_handle.write(rows_bytes)
+        self._probs_handle.write(probs_bytes)
+        self._plane_crcs["rows"] = zlib.crc32(rows_bytes, self._plane_crcs["rows"])
+        self._plane_crcs["probs"] = zlib.crc32(probs_bytes, self._plane_crcs["probs"])
         if self._bitmap_handle is not None:
             occupied = np.zeros(self._n_transactions, dtype=bool)
             occupied[rows] = True
-            self._bitmap_handle.write(np.packbits(occupied).tobytes())
+            bitmap_bytes = np.packbits(occupied).tobytes()
+            self._bitmap_handle.write(bitmap_bytes)
+            self._plane_crcs["bitmaps"] = zlib.crc32(
+                bitmap_bytes, self._plane_crcs["bitmaps"]
+            )
         self._items.append(item)
         self._offsets.append(self._offsets[-1] + len(rows))
         self._statistics.append(
@@ -236,6 +270,15 @@ class StoreWriter:
             "offsets": self._offsets,
             "item_statistics": [list(stat) for stat in self._statistics],
             "vocabulary": self._vocabulary,
+            "checksums": {
+                "rows": format(self._plane_crcs["rows"] & 0xFFFFFFFF, "08x"),
+                "probs": format(self._plane_crcs["probs"] & 0xFFFFFFFF, "08x"),
+                "bitmaps": (
+                    format(self._plane_crcs["bitmaps"] & 0xFFFFFFFF, "08x")
+                    if self._with_bitmaps
+                    else None
+                ),
+            },
         }
         manifest_path = os.path.join(self.directory, MANIFEST_NAME)
         scratch_path = manifest_path + ".tmp"
@@ -337,12 +380,19 @@ class ColumnarStore:
     def open(cls, directory: str) -> "ColumnarStore":
         """Open an existing store, validating the manifest.
 
+        With ``REPRO_STORE_VERIFY`` set truthy, a fresh open also
+        checksum-verifies every plane file (:meth:`verify` with
+        ``strict=True``) before the store is returned or cached — cached
+        re-opens are not re-verified.
+
         Raises:
             StoreError: When the directory or manifest is missing (the
-                fail-fast contract of worker re-attachment) or the manifest
-                is malformed / from an incompatible layout version.
+                fail-fast contract of worker re-attachment), the manifest
+                is malformed / from an incompatible layout version, or
+                verify-on-open finds a corrupt plane.
         """
         directory = os.fspath(directory)
+        faults.maybe_corrupt_store(directory)
         manifest_path = os.path.join(directory, MANIFEST_NAME)
         try:
             stat = os.stat(manifest_path)
@@ -373,6 +423,10 @@ class ColumnarStore:
         if len(manifest["offsets"]) != len(manifest["items"]) + 1:
             raise StoreError(f"{manifest_path}: offsets/items length mismatch")
         store = cls(directory, manifest)
+        if os.environ.get(STORE_VERIFY_ENV, "").strip().lower() in (
+            "1", "on", "true", "yes",
+        ):
+            store.verify(strict=True)
         _OPEN_STORES[key] = store
         return store
 
@@ -424,6 +478,64 @@ class ColumnarStore:
             if filename:
                 total += os.path.getsize(os.path.join(self.directory, filename))
         return total
+
+    # -- integrity ---------------------------------------------------------------
+    def verify(self, strict: bool = False) -> Dict[str, Any]:
+        """Checksum every plane file against the manifest.
+
+        Reads each plane back from disk in chunks (deliberately not through
+        the memmaps: corruption must be detectable regardless of what this
+        process has already mapped or cached) and compares its CRC-32
+        against the value recorded at build time.  Stores built before
+        checksums existed verify as ok with the plane marked ``skipped``.
+
+        Args:
+            strict: Raise :class:`StoreError` naming the corrupt planes
+                instead of returning a failing report.
+
+        Returns:
+            ``{"directory", "ok", "planes": {plane: {...}}}`` where each
+            plane entry carries ``ok``, ``nbytes``, and either
+            ``expected``/``actual`` CRC hex digests or a ``skipped`` /
+            ``error`` explanation.
+        """
+        checksums = self._manifest.get("checksums") or {}
+        planes: Dict[str, Dict[str, Any]] = {}
+        ok = True
+        for key, filename in self._manifest["planes"].items():
+            if not filename:
+                continue
+            entry: Dict[str, Any] = {"file": filename}
+            path = os.path.join(self.directory, filename)
+            try:
+                nbytes, crc = _file_crc32(path)
+            except OSError as error:
+                entry["ok"] = False
+                entry["error"] = f"unreadable: {error}"
+                ok = False
+                planes[key] = entry
+                continue
+            entry["nbytes"] = nbytes
+            expected = checksums.get(key)
+            if expected is None:
+                entry["ok"] = True
+                entry["skipped"] = "manifest predates plane checksums"
+            else:
+                entry["expected"] = expected
+                entry["actual"] = format(crc, "08x")
+                entry["ok"] = entry["actual"] == expected
+                ok = ok and entry["ok"]
+            planes[key] = entry
+        report = {"directory": self.directory, "ok": ok, "planes": planes}
+        if strict and not ok:
+            bad = ", ".join(
+                sorted(key for key, entry in planes.items() if not entry["ok"])
+            )
+            raise StoreError(
+                f"store {self.directory!r} failed checksum verification "
+                f"(corrupt plane(s): {bad})"
+            )
+        return report
 
     def item_statistics_at(self, position: int) -> Tuple[float, float]:
         """(expected support, variance) of the item at manifest ``position``."""

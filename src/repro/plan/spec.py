@@ -175,6 +175,23 @@ def _byte_parser(minimum: int, label: str) -> Callable[[Any], int]:
     return lambda value: _parse_bytes(value, minimum=minimum, label=label)
 
 
+def _parse_faults(value: Any) -> str:
+    """Validate a fault-injection spec, keeping the canonical string form.
+
+    The knob's value stays the spec *string* (plans are JSON-roundtripped
+    through ``to_dict``); validation delegates to ``FaultPlan.parse`` so a
+    typo fails at plan-construction time, not at the first probe.  Imported
+    lazily — :mod:`repro.faults` imports this module.
+    """
+    spec = str(value).strip()
+    if not spec:
+        return ""
+    from ..faults import FaultPlan
+
+    FaultPlan.parse(spec)
+    return spec
+
+
 # -- the knob registry -----------------------------------------------------------------
 
 
@@ -266,6 +283,11 @@ KNOBS: Dict[str, Knob] = {
             _byte_parser(0, "mapped_cache_bytes"),
             "byte budget of the mapped-store column cache",
         ),
+        Knob(
+            "faults", "REPRO_FAULTS", False, "", _parse_faults,
+            "deterministic fault-injection spec ('' = off; ';' separates "
+            "sites inside a REPRO_PLAN token)",
+        ),
     )
 }
 
@@ -333,6 +355,7 @@ class ExecutionPlan:
     bitmap_cache_bytes: Optional[int] = None
     prefix_cache_bytes: Optional[int] = None
     mapped_cache_bytes: Optional[int] = None
+    faults: Optional[str] = None
     auto: bool = False
 
     def __post_init__(self) -> None:

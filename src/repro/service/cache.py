@@ -338,4 +338,5 @@ class ResultCache:
                 "exact_hits": self.exact_hits,
                 "filter_hits": self.filter_hits,
                 "misses": self.misses,
+                "evictions": self._lru.evictions,
             }

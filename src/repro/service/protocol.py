@@ -53,6 +53,7 @@ MAX_LINE_BYTES = 32 << 20
 #: the structured error vocabulary of the service
 ERROR_TYPES = (
     "malformed-request",
+    "bad-request",
     "unknown-op",
     "unknown-dataset",
     "unknown-algorithm",
@@ -60,6 +61,8 @@ ERROR_TYPES = (
     "overloaded",
     "timeout",
     "shutting-down",
+    "connection-lost",
+    "corrupt-dataset",
     "internal",
 )
 
@@ -69,17 +72,36 @@ class ServiceError(Exception):
 
     Raised server-side to produce an error reply, and raised client-side
     when an error reply is received — the ``type`` survives the round-trip.
+    (``connection-lost`` is the exception: it is minted client-side when
+    the transport dies before a reply arrives, so *every* client failure
+    is a ServiceError with a typed cause.)
+
+    ``retry_after_seconds`` is an optional server hint carried with
+    retryable errors (today: ``overloaded`` admission rejections); a
+    retrying client sleeps that long before its next attempt instead of
+    guessing.
     """
 
-    def __init__(self, error_type: str, message: str) -> None:
+    def __init__(
+        self,
+        error_type: str,
+        message: str,
+        retry_after_seconds: Optional[float] = None,
+    ) -> None:
         if error_type not in ERROR_TYPES:
             raise ValueError(f"unknown error type {error_type!r}; known: {ERROR_TYPES}")
         super().__init__(message)
         self.type = error_type
         self.message = message
+        self.retry_after_seconds = (
+            None if retry_after_seconds is None else float(retry_after_seconds)
+        )
 
-    def as_payload(self) -> Dict[str, str]:
-        return {"type": self.type, "message": self.message}
+    def as_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"type": self.type, "message": self.message}
+        if self.retry_after_seconds is not None:
+            payload["retry_after_seconds"] = self.retry_after_seconds
+        return payload
 
 
 def encode_line(document: Dict[str, Any]) -> bytes:

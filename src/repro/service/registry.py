@@ -32,11 +32,12 @@ import os
 import threading
 from typing import Any, Dict, List, Optional, Tuple
 
+from .. import faults
 from ..datasets.registry import dataset_names, load_dataset
 from ..db.cache import ByteBudgetLRU, resolve_budget
 from ..db.database import UncertainDatabase
 from ..db.io import read_uncertain
-from ..db.store import ColumnarStore, StoreError
+from ..db.store import MANIFEST_NAME, ColumnarStore, StoreError
 from .protocol import ServiceError
 
 __all__ = [
@@ -132,6 +133,11 @@ class DatasetRegistry:
         self._lock = threading.RLock()
         #: payload rebuilds forced by eviction (cold checkouts)
         self.rebuilds = 0
+        #: store-backed datasets rebuilt from their ``source`` spec after
+        #: failing checksum verification
+        self.store_rebuilds = 0
+        #: whole-cache flushes forced by the ``registry-evict`` fault site
+        self.fault_evictions = 0
 
     # -- registration ------------------------------------------------------------
     def register(self, name: str, spec: Dict[str, Any]) -> DatasetHandle:
@@ -191,6 +197,12 @@ class DatasetRegistry:
                     "unknown-dataset",
                     f"dataset {name!r} is not registered; known: {self.names()}",
                 )
+            if faults.fire("registry-evict"):
+                # Eviction storm: every warm payload degrades to cold at
+                # once.  Serving must survive it — checkouts fall through
+                # to the rebuild path below, nothing errors.
+                self._warm.clear()
+                self.fault_evictions += 1
             warm = self._warm.get((name, handle.revision))
             if warm is not None:
                 return handle, warm.database
@@ -230,6 +242,8 @@ class DatasetRegistry:
                 "budget_bytes": self._warm.budget_bytes,
                 "warm_nbytes": self._warm.nbytes,
                 "rebuilds": self.rebuilds,
+                "store_rebuilds": self.store_rebuilds,
+                "fault_evictions": self.fault_evictions,
             }
 
     # -- construction ------------------------------------------------------------
@@ -249,7 +263,7 @@ class DatasetRegistry:
             if kind == "file":
                 return read_uncertain(str(spec["path"]), name=str(spec["path"])), False, ""
             if kind == "store":
-                store = ColumnarStore.open(str(spec["directory"]))
+                store = self._open_verified_store(spec)
                 stamp = store.stamp()
                 return store.database(), True, f"-s{stamp[1]:x}-{stamp[2]:x}"
             if kind == "inline":
@@ -270,6 +284,40 @@ class DatasetRegistry:
             "bad-params",
             f"dataset spec kind must be benchmark/file/store/inline, got {kind!r}",
         )
+
+    def _open_verified_store(self, spec: Dict[str, Any]) -> ColumnarStore:
+        """Open a store-backed dataset, verifying plane checksums first.
+
+        A store that fails verification (or fails to open at all) degrades
+        to a transparent rebuild when the spec carries a ``source`` sub-spec
+        — any other registerable spec describing where the data came from.
+        The corrupt store is overwritten in place from the rebuilt database
+        and re-verified; without a ``source``, the corruption surfaces as a
+        structured ``corrupt-dataset`` error instead of wrong answers.
+        """
+        directory = str(spec["directory"])
+        try:
+            store = ColumnarStore.open(directory)
+            store.verify(strict=True)
+            return store
+        except StoreError as error:
+            source = spec.get("source")
+            if not isinstance(source, dict):
+                if not os.path.exists(os.path.join(directory, MANIFEST_NAME)):
+                    # Nothing was ever stored here — a bad spec, not
+                    # corruption; surfaces as bad-params like any other.
+                    raise
+                raise ServiceError(
+                    "corrupt-dataset",
+                    f"store {directory!r} failed verification and the spec "
+                    f"carries no 'source' to rebuild from: {error}",
+                ) from None
+        database, _, _ = self._build(dict(source))
+        store = ColumnarStore.save(database, directory)
+        store.verify(strict=True)
+        with self._lock:
+            self.store_rebuilds += 1
+        return store
 
 
 def _warm_database(database: UncertainDatabase) -> None:

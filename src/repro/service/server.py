@@ -35,14 +35,16 @@ from __future__ import annotations
 import os
 import socket
 import socketserver
+import struct
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from typing import Any, Dict, Optional, Tuple
 
+from .. import faults
 from ..core.miner import mine
-from ..core.parallel import live_pool_count
+from ..core.parallel import live_pool_count, pool_restart_count
 from ..core.registry import get_algorithm
 from ..core.topk import mine_topk, ranking_of, resolve_evaluator
 from ..plan import (
@@ -72,6 +74,7 @@ __all__ = [
     "WORKERS_ENV",
     "QUEUE_ENV",
     "TIMEOUT_ENV",
+    "MAX_FRAME_ENV",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "DEFAULT_WORKERS",
@@ -86,6 +89,9 @@ PORT_ENV = "REPRO_SERVICE_PORT"
 WORKERS_ENV = "REPRO_SERVICE_WORKERS"
 QUEUE_ENV = "REPRO_SERVICE_QUEUE"
 TIMEOUT_ENV = "REPRO_SERVICE_TIMEOUT_SECONDS"
+#: cap on one inbound request frame; oversize frames are rejected with a
+#: structured ``bad-request`` error (never silently dropped)
+MAX_FRAME_ENV = "REPRO_SERVICE_MAX_FRAME_BYTES"
 
 DEFAULT_HOST = "127.0.0.1"
 #: 0 = bind an ephemeral port (read it back from ``server.address``)
@@ -99,6 +105,11 @@ _POLL_SECONDS = 0.05
 
 #: ops that execute on the worker pool under admission control
 _HEAVY_OPS = frozenset({"mine", "mine-topk", "register", "plan"})
+
+#: the ``retry_after_seconds`` hint attached to ``overloaded`` rejections —
+#: long enough for a worker slot to plausibly free, short enough that a
+#: retrying client adds little latency when the burst clears immediately
+_OVERLOAD_RETRY_AFTER_SECONDS = 0.1
 
 
 def _env_str(name: str, default: str) -> str:
@@ -146,12 +157,12 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
             if not chunk:
                 return
             buffer += chunk
-            if len(buffer) > MAX_LINE_BYTES:
+            if len(buffer) > server.max_frame_bytes:
                 reply = error_reply(
                     None,
                     ServiceError(
-                        "malformed-request",
-                        f"request line exceeds {MAX_LINE_BYTES} bytes",
+                        "bad-request",
+                        f"request frame exceeds {server.max_frame_bytes} bytes",
                     ),
                 )
                 self._send(sock, encode_line(reply))
@@ -160,8 +171,20 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
                 line, buffer = buffer.split(b"\n", 1)
                 if not line.strip():
                     continue
-                reply = server.handle_line(line)
-                if not self._send(sock, encode_line(reply)):
+                reply_bytes = encode_line(server.handle_line(line))
+                # Fault-injection sites of the reply path (no-ops unless a
+                # FaultPlan is active): a dropped connection discards the
+                # whole reply with an RST; a truncated frame flushes half a
+                # line then aborts — both exercise the client's typed
+                # connection-lost handling end to end.
+                if faults.fire("socket-drop"):
+                    self._abort(sock)
+                    return
+                if faults.fire("socket-truncate"):
+                    self._send(sock, reply_bytes[: max(1, len(reply_bytes) // 2)])
+                    self._abort(sock)
+                    return
+                if not self._send(sock, reply_bytes):
                     return
                 if server.stopping:
                     return
@@ -173,6 +196,21 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
             return True
         except OSError:
             return False
+
+    @staticmethod
+    def _abort(sock) -> None:
+        """Hard-close: SO_LINGER(on, 0) turns close() into an RST, so the
+        client sees an immediate reset instead of an orderly EOF."""
+        try:
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
 
 
 class MiningServer:
@@ -191,6 +229,9 @@ class MiningServer:
             with a structured ``overloaded`` error.
         timeout_seconds: Per-request execution ceiling.  A request may ask
             for less via ``params.timeout_seconds`` but never more.
+        max_frame_bytes: Largest accepted request frame; oversize frames
+            get a structured ``bad-request`` reply and the connection is
+            closed.  Capped at the protocol's ``MAX_LINE_BYTES``.
         registry: Shared :class:`DatasetRegistry` (one is built otherwise).
         result_cache: Shared :class:`ResultCache` (one is built otherwise).
         use_cache: Master switch for result caching (per-request
@@ -204,6 +245,7 @@ class MiningServer:
         max_workers: Optional[int] = None,
         max_queue: Optional[int] = None,
         timeout_seconds: Optional[float] = None,
+        max_frame_bytes: Optional[int] = None,
         registry: Optional[DatasetRegistry] = None,
         result_cache: Optional[ResultCache] = None,
         use_cache: bool = True,
@@ -227,6 +269,16 @@ class MiningServer:
             if timeout_seconds is not None
             else _env_float(TIMEOUT_ENV, DEFAULT_TIMEOUT_SECONDS)
         )
+        self.max_frame_bytes = min(
+            int(max_frame_bytes)
+            if max_frame_bytes is not None
+            else _env_int(MAX_FRAME_ENV, MAX_LINE_BYTES),
+            MAX_LINE_BYTES,
+        )
+        if self.max_frame_bytes < 1:
+            raise ValueError(
+                f"max_frame_bytes must be >= 1, got {self.max_frame_bytes}"
+            )
         self.registry = registry if registry is not None else DatasetRegistry()
         self.result_cache = result_cache if result_cache is not None else ResultCache()
         self.use_cache = bool(use_cache)
@@ -246,6 +298,9 @@ class MiningServer:
         self.requests_rejected = 0
         self.requests_timed_out = 0
         self.requests_failed = 0
+        #: heavy requests currently holding an admission slot (executing
+        #: or queued for a worker) — the ``health`` op's queue-depth gauge
+        self._in_flight = 0
 
     # -- lifecycle ---------------------------------------------------------------
     @property
@@ -351,13 +406,16 @@ class MiningServer:
                 "overloaded",
                 f"admission limit reached ({self.max_workers} executing + "
                 f"{self.max_queue} queued); retry later",
+                retry_after_seconds=_OVERLOAD_RETRY_AFTER_SECONDS,
             )
+        with self._counter_lock:
+            self._in_flight += 1
         try:
             future = self._executor.submit(self._run_op, op, params)
         except RuntimeError:
-            self._admission.release()
+            self._release_slot()
             raise ServiceError("shutting-down", "server is shutting down") from None
-        future.add_done_callback(lambda _f: self._admission.release())
+        future.add_done_callback(lambda _f: self._release_slot())
         timeout = self.timeout_seconds
         requested = params.get("timeout_seconds")
         if requested is not None:
@@ -388,6 +446,8 @@ class MiningServer:
             return {"removed": self.registry.unregister(name)}
         if op == "stats":
             return self._op_stats()
+        if op == "health":
+            return self._op_health()
         if op == "mine":
             return self._op_mine(params)
         if op == "mine-topk":
@@ -426,6 +486,11 @@ class MiningServer:
         handle = self.registry.register(name, spec)
         return handle.describe()
 
+    def _release_slot(self) -> None:
+        with self._counter_lock:
+            self._in_flight -= 1
+        self._admission.release()
+
     def _op_stats(self) -> Dict[str, Any]:
         with self._counter_lock:
             counters = {
@@ -439,11 +504,50 @@ class MiningServer:
             "result_cache": self.result_cache.describe(),
             "requests": counters,
             "live_pools": live_pool_count(),
+            "pool_restarts": pool_restart_count(),
+            "faults": faults.fault_counters(),
             "max_workers": self.max_workers,
             "max_queue": self.max_queue,
             "uptime_seconds": (
                 time.monotonic() - self._started_at if self._started_at else 0.0
             ),
+        }
+
+    def _op_health(self) -> Dict[str, Any]:
+        """Degraded-state report: cheap gauges a load balancer can poll.
+
+        Deliberately a *light* op — it answers even when every worker slot
+        is saturated (the condition it exists to report).
+        """
+        with self._counter_lock:
+            in_flight = self._in_flight
+            rejected = self.requests_rejected
+            timed_out = self.requests_timed_out
+        queue_depth = max(0, in_flight - self.max_workers)
+        registry = self.registry.describe()
+        reasons = []
+        if self.stopping:
+            reasons.append("shutting down")
+        if in_flight >= self.max_workers + self.max_queue:
+            reasons.append("admission saturated")
+        elif queue_depth > 0:
+            reasons.append("requests queued")
+        return {
+            "status": "degraded" if reasons else "ok",
+            "reasons": reasons,
+            "in_flight": in_flight,
+            "queue_depth": queue_depth,
+            "max_workers": self.max_workers,
+            "max_queue": self.max_queue,
+            "rejected": rejected,
+            "timed_out": timed_out,
+            "live_pools": live_pool_count(),
+            "pool_restarts": pool_restart_count(),
+            "registry_rebuilds": registry.get("rebuilds", 0),
+            "store_rebuilds": registry.get("store_rebuilds", 0),
+            "fault_evictions": registry.get("fault_evictions", 0),
+            "cache_evictions": self.result_cache.describe().get("evictions", 0),
+            "faults": faults.fault_counters(),
         }
 
     def _mine_options(self, params: Dict[str, Any]) -> Dict[str, Any]:

@@ -87,6 +87,8 @@ MATRIX = {
                            ("3m", 3 << 20), (4 << 20, 4 << 20)),
     "mapped_cache_bytes": ((1 << 20, 1 << 20), (2 << 20, 2 << 20),
                            ("3m", 3 << 20), (4 << 20, 4 << 20)),
+    "faults": (("seed=1", "seed=1"), ("seed=2", "seed=2"),
+               ("seed=3", "seed=3"), ("seed=4", "seed=4")),
 }
 
 

@@ -333,3 +333,106 @@ class TestServeEndToEnd:
                 assert record_keys(decode_records(second["itemsets"])) == record_keys(
                     expected.itemsets
                 )
+
+
+class TestTransportEdges:
+    """Hostile transports: truncated frames, partial writes, dead peers.
+
+    The serving contract under a misbehaving network layer — the server
+    never hangs, never crashes a connection thread, and keeps answering
+    well-formed clients; the client maps every transport death to one
+    typed ``connection-lost`` ServiceError.
+    """
+
+    @pytest.fixture()
+    def server(self, database):
+        with MiningServer(max_workers=2, max_queue=4) as server:
+            server.registry.register("d", _inline_spec(database))
+            yield server
+
+    def test_truncated_request_frame_is_harmless(self, server):
+        # half a request line, then the peer vanishes: no reply owed, and
+        # the server must keep serving everyone else
+        with socket.create_connection(server.address, timeout=10.0) as sock:
+            sock.sendall(b'{"id": 1, "op": "pi')
+        with MiningClient(*server.address) as client:
+            assert client.ping()["pong"] is True
+
+    def test_partial_writes_assemble_into_one_request(self, server):
+        payload = encode_line({"id": 9, "op": "ping", "params": {}})
+        with socket.create_connection(server.address, timeout=10.0) as sock:
+            for index in range(0, len(payload), 7):
+                sock.sendall(payload[index : index + 7])
+                time.sleep(0.005)
+            buffer = b""
+            while b"\n" not in buffer:
+                buffer += sock.recv(1 << 16)
+        reply = json.loads(buffer.split(b"\n", 1)[0])
+        assert reply["id"] == 9 and reply["ok"] is True
+
+    def test_mid_handshake_disconnect_is_harmless(self, server):
+        for _ in range(3):
+            sock = socket.create_connection(server.address, timeout=10.0)
+            sock.close()
+        with MiningClient(*server.address) as client:
+            assert client.ping()["pong"] is True
+
+    def test_two_requests_in_one_write_get_two_replies(self, server):
+        payload = encode_line({"id": 1, "op": "ping", "params": {}}) + encode_line(
+            {"id": 2, "op": "list", "params": {}}
+        )
+        with socket.create_connection(server.address, timeout=10.0) as sock:
+            sock.sendall(payload)
+            buffer = b""
+            while buffer.count(b"\n") < 2:
+                buffer += sock.recv(1 << 16)
+        first, second = buffer.split(b"\n")[:2]
+        assert json.loads(first)["id"] == 1
+        assert json.loads(second)["id"] == 2
+
+    def test_oversize_frame_is_rejected_structurally(self, database):
+        with MiningServer(max_workers=1, max_frame_bytes=200) as server:
+            with MiningClient(*server.address, retries=0) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.ping(pad="x" * 512)
+            assert excinfo.value.type == "bad-request"
+            assert "200" in excinfo.value.message
+            # a fresh connection with a small frame still works
+            with MiningClient(*server.address) as client:
+                assert client.ping()["pong"] is True
+
+    def test_server_death_mid_reply_is_connection_lost(self, database):
+        # a bare socket server that sends half a reply line then resets
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+
+        def half_reply():
+            conn, _ = listener.accept()
+            conn.recv(1 << 16)
+            conn.sendall(b'{"id": 1, "ok": tr')
+            conn.close()
+
+        thread = threading.Thread(target=half_reply)
+        thread.start()
+        try:
+            client = MiningClient(*listener.getsockname(), retries=0)
+            with pytest.raises(ServiceError) as excinfo:
+                client.ping()
+            assert excinfo.value.type == "connection-lost"
+            client.close()
+        finally:
+            thread.join()
+            listener.close()
+
+    def test_connect_refused_is_connection_lost(self):
+        # bind-then-close guarantees a dead port
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()
+        client = MiningClient(host, port, retries=0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.ping()
+        assert excinfo.value.type == "connection-lost"
+        assert excinfo.value.request_sent is False

@@ -174,10 +174,14 @@ class TestAdmissionControl:
             second.start()
             time.sleep(0.15)
             # workers+queue = 2 slots are now held; the third must bounce.
-            with MiningClient(host, port) as client:
+            # retries=0: the default client retries overloaded rejections
+            # (honouring retry-after), which would inflate the rejection
+            # counter this test pins.
+            with MiningClient(host, port, retries=0) as client:
                 with pytest.raises(ServiceError) as excinfo:
                     client.ping(delay_seconds=0.1)
                 assert excinfo.value.type == "overloaded"
+                assert excinfo.value.retry_after_seconds is not None
                 started = time.monotonic()
                 assert client.ping()["pong"] is True  # light ops bypass admission
                 assert time.monotonic() - started < 0.5
@@ -199,7 +203,8 @@ class TestAdmissionControl:
             )
             holder.start()
             time.sleep(0.15)
-            with MiningClient(host, port) as client:
+            # retries=0: each rejection must surface, not be retried away.
+            with MiningClient(host, port, retries=0) as client:
                 for _ in range(5):
                     with pytest.raises(ServiceError):
                         client.ping(delay_seconds=0.05)
@@ -331,7 +336,7 @@ class TestShutdownUnderLoad:
             except ServiceError as error:
                 outcomes.append(error.type)  # structured mid-shutdown reply
             except (ConnectionError, OSError):
-                outcomes.append("disconnected")
+                outcomes.append("disconnected")  # pre-structured-client net
 
         threads = [threading.Thread(target=client_loop, args=(s,)) for s in range(4)]
         for thread in threads:
@@ -342,4 +347,7 @@ class TestShutdownUnderLoad:
             thread.join(timeout=20.0)
         assert not any(thread.is_alive() for thread in threads)
         assert len(outcomes) == 4
-        assert set(outcomes) <= {"shutting-down", "disconnected"}
+        # connection-lost: the client now types a mid-request connection
+        # death (and its exhausted retries) instead of leaking the raw
+        # ConnectionError.
+        assert set(outcomes) <= {"shutting-down", "connection-lost", "disconnected"}
